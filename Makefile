@@ -1,0 +1,33 @@
+# Development targets for the Clio log-files reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-tables examples fsck-demo outputs clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The paper-style result tables (Figure 3, Table 1, Figure 4, ...).
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ -s -q
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+# The final artifacts recorded in the repository.
+outputs:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+Every module here is a *reproduction* bench: it regenerates one of the
+paper's tables/figures, asserts the result, and additionally times a
+representative operation with pytest-benchmark.  Under ``--benchmark-only``
+pytest-benchmark skips any test that does not use its fixture — which
+would silently skip the table regeneration and its assertions.  The hook
+below strips those auto-added skip markers so ``pytest benchmarks/
+--benchmark-only`` runs the complete reproduction (wall-clock timers
+included), which is what this repository's documented workflow expects.
+"""
+
+import pytest
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--benchmark-only", default=False):
+        return
+    for item in items:
+        if str(item.fspath).startswith(str(config.rootdir / "benchmarks")) or (
+            "benchmarks" in str(item.fspath)
+        ):
+            item.own_markers = [
+                marker
+                for marker in item.own_markers
+                if not (
+                    marker.name == "skip"
+                    and "--benchmark-only" in str(marker.kwargs.get("reason", ""))
+                )
+            ]

@@ -1,0 +1,104 @@
+"""Figure 3 — average cost of locating an entry d blocks away (no caching).
+
+Paper: the number of entrymap log entries examined grows as
+≈ 2·log_N(d) − 1; curves for N ∈ {4, 8, 16, 64, 128} are logarithmic in d
+and flatten with increasing N, with "little benefit in N being larger than
+16 or 32, even for locating entries that are as many as 10^7 blocks away".
+
+The measurement uses the pure entrymap simulation (the counts depend only
+on the index structure): one volume per N, a marked block at address 0,
+and locate-backwards queries from increasing positions d.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import entrymap_entries_examined
+
+from _support import EntrymapSim, print_table
+
+DEGREES = [4, 8, 16, 64]
+DISTANCES = [10, 100, 1_000, 10_000, 100_000]
+TARGET_LOGFILE = 8
+
+
+def build_sim(degree: int, blocks: int) -> EntrymapSim:
+    # Capacity sized so the entrymap tree has enough levels to cover the
+    # whole distance range (otherwise the top level is forced to step
+    # linearly, which no realistic volume configuration would do).
+    levels = int(math.log(blocks, degree)) + 2
+    sim = EntrymapSim(degree, capacity=degree**levels)
+    sim.write_block({TARGET_LOGFILE})
+    sim.advance(blocks)
+    return sim
+
+
+def entries_examined(stats) -> int:
+    """Total entrymap examinations: written entries plus the in-memory
+    accumulator lookups that stand in for not-yet-written entries near the
+    tail (the paper's counts cover the same information)."""
+    return stats.entrymap_entries_examined + stats.accumulator_examinations
+
+
+@pytest.fixture(scope="module")
+def sims():
+    return {degree: build_sim(degree, max(DISTANCES)) for degree in DEGREES}
+
+
+def measured_curve(sim: EntrymapSim) -> list[tuple[int, int]]:
+    points = []
+    for d in DISTANCES:
+        stats = sim.locate_prev_counting(TARGET_LOGFILE, d)
+        points.append((d, entries_examined(stats)))
+    return points
+
+
+class TestFigure3:
+    def test_curves_match_theory_shape(self, sims):
+        rows = []
+        for degree in DEGREES:
+            for d, measured in measured_curve(sims[degree]):
+                theory = entrymap_entries_examined(d, degree)
+                rows.append([degree, d, measured, f"{theory:.1f}"])
+                # Within a small additive band of the model.
+                assert abs(measured - theory) <= 3.0, (degree, d)
+        print_table(
+            "Figure 3: entrymap entries examined to locate an entry d blocks away",
+            ["N", "d", "measured", "theory 2*log_N(d)-1"],
+            rows,
+        )
+
+    def test_logarithmic_in_distance(self, sims):
+        """Cost grows ~ log d, not d: multiplying d by 10^4 adds only a
+        handful of entry examinations."""
+        for degree in DEGREES:
+            near = entries_examined(
+                sims[degree].locate_prev_counting(TARGET_LOGFILE, 10)
+            )
+            far = entries_examined(
+                sims[degree].locate_prev_counting(TARGET_LOGFILE, 100_000)
+            )
+            assert far - near <= 2 * math.log(10_000, degree) + 4
+
+    def test_larger_degree_examines_fewer(self, sims):
+        d = 100_000
+        costs = {
+            degree: entries_examined(
+                sims[degree].locate_prev_counting(TARGET_LOGFILE, d)
+            )
+            for degree in DEGREES
+        }
+        assert costs[4] > costs[16] >= costs[64]
+
+    def test_diminishing_returns_beyond_16(self, sims):
+        """'Little benefit in N being larger than 16 or 32.'"""
+        d = 100_000
+        n4 = entries_examined(sims[4].locate_prev_counting(TARGET_LOGFILE, d))
+        n16 = entries_examined(sims[16].locate_prev_counting(TARGET_LOGFILE, d))
+        n64 = entries_examined(sims[64].locate_prev_counting(TARGET_LOGFILE, d))
+        assert (n4 - n16) >= (n16 - n64)
+
+    def test_locate_wallclock(self, sims, benchmark):
+        sim = sims[16]
+        benchmark(lambda: sim.search().locate_prev(TARGET_LOGFILE, 100_000))

@@ -1,0 +1,143 @@
+"""Introduction — why conventional file systems mishandle large,
+continually growing logs.
+
+Paper claims reproduced here:
+
+* "In indirect block file systems (such as Unix), blocks at the tail end
+  of such files become increasingly expensive to read and write" — and
+  that is "especially undesirable, because in many applications, the most
+  frequent accesses to large logs are to those entries that were written
+  most recently".
+* "In extent-based file systems, such files use up many extents."
+* "Most file system backup procedures involve copying whole files, which
+  is particularly inefficient ... since only the tail end of the file will
+  have changed since the last backup."
+* Log files have none of these: appends never read, and tail access is the
+  cheap case.
+"""
+
+import pytest
+
+from repro.baselines import (
+    full_backup_cost,
+    grow_interleaved_extent_files,
+    grow_log_file,
+    grow_unix_file,
+    incremental_log_backup_cost,
+    tail_read_profile,
+)
+
+from _support import print_table
+
+BLOCKS = 600
+BS = 512
+
+
+@pytest.fixture(scope="module")
+def unix_run():
+    return grow_unix_file(block_size=BS, n_blocks=BLOCKS)
+
+
+@pytest.fixture(scope="module")
+def log_run():
+    return grow_log_file(block_size=BS, n_blocks=BLOCKS)
+
+
+class TestIndirectBlockCosts:
+    def test_tail_blocks_cost_more(self, unix_run):
+        fs, f, _ = unix_run
+        profile = tail_read_profile(fs, f, [0, 9, 50, 200, BLOCKS - 1])
+        rows = [[index, cost] for index, cost in profile]
+        print_table(
+            "Intro: indirect-block reads to reach file block k (cold cache, "
+            f"{BLOCKS}-block file)",
+            ["file block", "indirect reads"],
+            rows,
+        )
+        costs = dict(profile)
+        assert costs[0] == 0
+        assert costs[BLOCKS - 1] >= 2
+        assert costs[BLOCKS - 1] > costs[0]
+
+    def test_growth_requires_metadata_writes(self, unix_run, log_run):
+        _, _, unix_report = unix_run
+        _, log_report = log_run
+        rows = [
+            [
+                "Unix-like FS",
+                unix_report.device_writes,
+                unix_report.indirect_reads,
+                unix_report.indirect_writes,
+            ],
+            ["Clio log file", log_report.device_writes, 0, 0],
+        ]
+        print_table(
+            f"Intro: appending {BLOCKS} blocks to a growing file",
+            ["system", "device writes", "indirect reads", "indirect writes"],
+            rows,
+        )
+        assert unix_report.indirect_writes > 0
+        assert unix_report.indirect_reads > 0
+        # Metadata write amplification: the conventional FS writes several
+        # blocks (data + inode + indirect chain) per appended block; the
+        # log file writes one.
+        assert unix_report.device_writes > 1.5 * log_report.device_writes
+        assert log_report.device_reads == 0
+
+    def test_log_appends_are_write_only(self, log_run):
+        _, report = log_run
+        assert report.device_reads == 0
+        assert report.device_writes >= BLOCKS - 2
+
+
+class TestExtentFragmentation:
+    def test_interleaved_growth_shatters_extents(self):
+        fs, files = grow_interleaved_extent_files(
+            block_size=BS, n_files=4, blocks_each=60
+        )
+        rows = [[f.name, f.block_count, f.extent_count] for f in files]
+        print_table(
+            "Intro: extents used by 4 concurrently growing files",
+            ["file", "blocks", "extents"],
+            rows,
+        )
+        for f in files:
+            assert f.extent_count > f.block_count // 4
+
+    def test_lone_file_stays_contiguous(self):
+        """Factoring the logs OUT of the extent FS is exactly the paper's
+        footnote 2: without them, extent allocation works fine."""
+        fs, files = grow_interleaved_extent_files(
+            block_size=BS, n_files=1, blocks_each=60
+        )
+        assert files[0].extent_count == 1
+
+
+class TestBackup:
+    def test_whole_file_vs_incremental(self, unix_run):
+        fs, f, _ = unix_run
+        # After 10 more appended blocks, a conventional backup recopies the
+        # whole file; the log service archives only the new tail (and
+        # sealed write-once volumes need no copying at all).
+        full = full_backup_cost(fs, f)
+        incremental = incremental_log_backup_cost(BLOCKS + 10, BLOCKS)
+        rows = [
+            ["conventional full backup", full],
+            ["log-file incremental", incremental],
+        ]
+        print_table(
+            "Intro: blocks copied to back up after 10 new blocks",
+            ["strategy", "blocks copied"],
+            rows,
+        )
+        assert incremental == 10
+        assert full >= BLOCKS
+
+    def test_append_wallclock(self, benchmark):
+        from repro.core import LogService
+
+        service = LogService.create(
+            block_size=BS, degree_n=16, volume_capacity_blocks=1 << 15
+        )
+        log = service.create_log_file("/bench")
+        benchmark(lambda: log.append(b"x" * 200))

@@ -1,0 +1,132 @@
+"""Section 3's framing — a (scaled-down) production profile.
+
+"A production log service is expected to deal with volume sequences that
+are several hundred volumes long, containing millions of records, and
+running continuously for several years.  Periodically, audit and
+monitoring processes read hundreds of records from various log files in
+the volume sequence."
+
+This capstone bench runs that environment at laptop scale: tens of
+volumes, tens of thousands of records across a Zipf mix of log files, with
+periodic audit sweeps (read the recent tail of several log files) and
+occasional deep history reads — then reports sustained rates, read costs,
+space overhead, and a final fsck.
+"""
+
+import pytest
+
+from repro.core import LogService
+from repro.core.fsck import check_service
+from repro.workloads import EntryStream, lognormal_size, zipf_weights
+
+from _support import print_table
+
+ENTRIES = 20_000
+LOGFILES = 10
+
+
+@pytest.fixture(scope="module")
+def production_run():
+    service = LogService.create(
+        block_size=1024,
+        degree_n=16,
+        volume_capacity_blocks=256,  # small volumes -> long sequence
+        cache_capacity_blocks=512,
+    )
+    paths = [f"/subsys{i:02d}" for i in range(LOGFILES)]
+    logs = {path: service.create_log_file(path) for path in paths}
+    stream = EntryStream(
+        zipf_weights(LOGFILES), lognormal_size(median=80, cap=2000), seed=1987
+    )
+    audit_reads = 0
+    deep_reads = 0
+    for count, (target, payload) in enumerate(stream.generate(ENTRIES)):
+        logs[paths[target]].append(payload, force=(count % 50 == 0))
+        if count and count % 2000 == 0:
+            # Periodic audit: tail of three busy log files.
+            for path in paths[:3]:
+                audit_reads += len(logs[path].tail(30))
+        if count and count % 5000 == 0:
+            # Occasional deep read: the oldest entries of a cold log file.
+            iterator = iter(logs[paths[-1]].entries())
+            for _ in range(10):
+                try:
+                    next(iterator)
+                    deep_reads += 1
+                except StopIteration:
+                    break
+    return {
+        "service": service,
+        "paths": paths,
+        "logs": logs,
+        "audit_reads": audit_reads,
+        "deep_reads": deep_reads,
+    }
+
+
+class TestProductionProfile:
+    def test_profile_summary(self, production_run):
+        service = production_run["service"]
+        space = service.space_stats
+        sequence = service.store.sequence
+        rows = [
+            ["entries written", space.client_entries],
+            ["client data (MB)", f"{space.client_data / 1e6:.1f}"],
+            ["volumes in sequence", len(sequence.volumes)],
+            ["blocks burned", space.blocks_written],
+            ["overhead/entry (bytes)", f"{space.overhead_per_client_entry():.1f}"],
+            ["entrymap overhead/entry", f"{space.entrymap_overhead_per_client_entry():.2f}"],
+            ["audit entries read", production_run["audit_reads"]],
+            ["deep-history entries read", production_run["deep_reads"]],
+            ["cache hit ratio", f"{service.cache_stats.hit_ratio:.2%}"],
+            ["simulated time (s)", f"{service.now_ms / 1000:.1f}"],
+        ]
+        print_table("Production profile (scaled)", ["quantity", "value"], rows)
+        assert space.client_entries == ENTRIES
+        assert len(sequence.volumes) >= 8  # a long sequence of small volumes
+
+    def test_all_logfiles_intact(self, production_run):
+        """Every log file's entries come back complete and in order
+        (payloads carry their (logfile, sequence) stamp)."""
+        for index, path in enumerate(production_run["paths"]):
+            log = production_run["logs"][path]
+            previous_seq = -1
+            for entry in log.entries():
+                if b"]" not in entry.data:
+                    continue  # stamp truncated by a tiny payload size
+                stamp = entry.data.split(b"]", 1)[0]
+                target, seq = stamp[1:].split(b":")
+                assert int(target) == index
+                assert int(seq) > previous_seq
+                previous_seq = int(seq)
+
+    def test_space_overhead_stays_small(self, production_run):
+        space = production_run["service"].space_stats
+        # Headers+index+entrymap+catalog, as a fraction of client data.
+        assert space.total_overhead / space.client_data < 0.25
+
+    def test_recovery_of_the_long_sequence(self, production_run):
+        service = production_run["service"]
+        expected = {
+            path: sum(1 for _ in production_run["logs"][path].entries())
+            for path in production_run["paths"][:3]
+        }
+        remains = service.crash()
+        mounted, report = LogService.mount(remains.devices, remains.nvram)
+        for path, count in expected.items():
+            got = sum(1 for _ in mounted.open_log_file(path).entries())
+            # Unforced suffix entries may be lost (forces every 50 appends
+            # bound the loss); nothing may be invented.
+            assert count - 60 <= got <= count, path
+        # Recovery examined a bounded tail per volume, not the world.
+        per_volume = report.total_blocks_examined / len(report.volumes)
+        assert per_volume < 64
+        fsck = check_service(mounted, max_blocks=64)
+        assert fsck.clean, [f.message for f in fsck.errors]
+
+    def test_sustained_write_wallclock(self, benchmark):
+        service = LogService.create(
+            block_size=1024, degree_n=16, volume_capacity_blocks=1 << 14
+        )
+        log = service.create_log_file("/rate")
+        benchmark(lambda: log.append(b"x" * 80))

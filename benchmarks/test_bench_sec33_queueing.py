@@ -1,0 +1,79 @@
+"""Section 3.3.2's load remark — device queueing inflates miss costs.
+
+"Furthermore, queueing for disk reads (under conditions of heavy load) may
+make the average cost of a cache miss even higher."
+
+A small discrete-event M/M/1-style simulation: cache misses arrive as a
+Poisson process at a single log device whose service time is the optical
+access cost; the measured average miss latency (wait + service) grows far
+beyond the unloaded cost as utilisation approaches 1 — matching the
+textbook 1/(1-ρ) blow-up.
+"""
+
+import random
+
+import pytest
+
+from _support import print_table
+
+SERVICE_MS = 160.0  # one optical access (seek + rotation + transfer)
+
+
+def simulate_miss_latency(utilisation: float, arrivals: int = 4000, seed: int = 9):
+    """Average (wait + service) per miss at the given device utilisation."""
+    rng = random.Random(seed)
+    mean_interarrival = SERVICE_MS / utilisation
+    now = 0.0
+    device_free_at = 0.0
+    total_latency = 0.0
+    for _ in range(arrivals):
+        now += rng.expovariate(1.0 / mean_interarrival)
+        start = max(now, device_free_at)
+        service = rng.expovariate(1.0 / SERVICE_MS)
+        device_free_at = start + service
+        total_latency += device_free_at - now
+    return total_latency / arrivals
+
+
+@pytest.fixture(scope="module")
+def latencies():
+    return {
+        utilisation: simulate_miss_latency(utilisation)
+        for utilisation in (0.1, 0.3, 0.5, 0.7, 0.9)
+    }
+
+
+class TestQueueing:
+    def test_latency_grows_with_load(self, latencies):
+        rows = []
+        for utilisation, measured in sorted(latencies.items()):
+            theory = SERVICE_MS / (1.0 - utilisation)  # M/M/1 sojourn time
+            rows.append(
+                [f"{utilisation:.1f}", f"{measured:.0f}", f"{theory:.0f}"]
+            )
+        print_table(
+            "Section 3.3.2: average cache-miss latency vs device load "
+            f"(unloaded access = {SERVICE_MS:.0f} ms)",
+            ["utilisation", "measured ms", "M/M/1 theory ms"],
+            rows,
+        )
+        values = [latencies[u] for u in sorted(latencies)]
+        assert values == sorted(values)
+
+    def test_heavy_load_far_exceeds_unloaded_cost(self, latencies):
+        """The paper's point: under heavy load a miss costs much more than
+        one device access."""
+        assert latencies[0.9] > 3 * SERVICE_MS
+        assert latencies[0.1] < 1.5 * SERVICE_MS
+
+    def test_matches_mm1_shape(self, latencies):
+        for utilisation, measured in latencies.items():
+            theory = SERVICE_MS / (1.0 - utilisation)
+            assert measured == pytest.approx(theory, rel=0.35), utilisation
+
+    def test_queueing_wallclock(self, benchmark):
+        benchmark.pedantic(
+            lambda: simulate_miss_latency(0.7, arrivals=1000),
+            iterations=1,
+            rounds=5,
+        )

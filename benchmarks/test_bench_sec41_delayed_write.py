@@ -1,0 +1,123 @@
+"""Section 4.1 — the delayed-write ('flush back') policy.
+
+Paper: "it was observed that typical file lifetimes are very short; for
+example, more than 50% of newly-written information is deleted within 5
+minutes.  This suggests that with an appropriate delayed write (or 'flush
+back') policy, most newly-written data will not lead to writes to the log
+device."
+
+The bench replays an Ousterhout-style trace through the history-based file
+server under three flush policies (immediate, 30 s delay, 5 min delay) and
+reports how much newly-written data ever reached the log device.
+"""
+
+import pytest
+
+from repro.apps import HistoryFileServer
+from repro.workloads import FileOp, FileTrace
+
+from _support import make_service, print_table
+
+FIVE_MINUTES_US = 5 * 60 * 1_000_000
+
+
+def replay(flush_delay_us: int, trace: FileTrace):
+    service = make_service(
+        block_size=1024, degree_n=16, volume_capacity_blocks=1 << 14
+    )
+    server = HistoryFileServer(service, flush_delay_us=flush_delay_us)
+    for event in trace.generate():
+        now = service.clock.now_us
+        if event.time_us > now:
+            service.clock.advance_us(event.time_us - now)
+        if event.op is FileOp.WRITE:
+            server.write(event.path, 0, event.data)
+        elif server.exists(event.path):
+            server.delete(event.path)
+        server.flush(now_us=service.clock.now_us)
+    server.flush()  # survivors at end of trace
+    return server.stats
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return FileTrace(file_count=300, short_lived_fraction=0.55, seed=4)
+
+
+@pytest.fixture(scope="module")
+def policies(trace):
+    return {
+        "immediate": replay(0, trace),
+        "30s delay": replay(30 * 1_000_000, trace),
+        "5min delay": replay(FIVE_MINUTES_US, trace),
+    }
+
+
+class TestDelayedWrite:
+    def test_policy_comparison(self, policies, trace):
+        rows = []
+        for name, stats in policies.items():
+            rows.append(
+                [
+                    name,
+                    stats.writes_issued,
+                    stats.writes_logged,
+                    stats.writes_absorbed,
+                    f"{stats.absorption_ratio:.0%}",
+                ]
+            )
+        print_table(
+            "Section 4.1: delayed-write policy vs Ousterhout-style trace "
+            f"({trace.short_lived_count()} of {trace.file_count} files die "
+            "within 5 min)",
+            ["policy", "writes", "logged", "absorbed", "absorbed %"],
+            rows,
+        )
+
+    def test_immediate_policy_logs_everything(self, policies):
+        stats = policies["immediate"]
+        assert stats.writes_logged == stats.writes_issued
+        assert stats.writes_absorbed == 0
+
+    def test_five_minute_delay_absorbs_majority(self, policies, trace):
+        """'Most newly-written data will not lead to writes to the log
+        device' — the 5-minute policy absorbs ~the short-lived fraction."""
+        stats = policies["5min delay"]
+        short_fraction = trace.short_lived_count() / trace.file_count
+        assert stats.absorption_ratio >= short_fraction - 0.08
+        assert stats.writes_logged < stats.writes_issued / 2 + 30
+
+    def test_longer_delay_absorbs_more(self, policies):
+        assert (
+            policies["immediate"].writes_absorbed
+            <= policies["30s delay"].writes_absorbed
+            <= policies["5min delay"].writes_absorbed
+        )
+
+    def test_survivors_are_durable(self, trace):
+        """Whatever the policy absorbs, data alive at the end of the trace
+        must be recoverable from the log."""
+        service = make_service(
+            block_size=1024, degree_n=16, volume_capacity_blocks=1 << 14
+        )
+        server = HistoryFileServer(service, flush_delay_us=FIVE_MINUTES_US)
+        alive = set()
+        for event in trace.generate():
+            now = service.clock.now_us
+            if event.time_us > now:
+                service.clock.advance_us(event.time_us - now)
+            if event.op is FileOp.WRITE:
+                server.write(event.path, 0, event.data)
+                alive.add(event.path)
+            elif server.exists(event.path):
+                server.delete(event.path)
+                alive.discard(event.path)
+            server.flush(now_us=service.clock.now_us)
+        server.flush()
+        fresh = HistoryFileServer(service)
+        recovered = fresh.recover()
+        assert recovered == len(alive)
+
+    def test_replay_wallclock(self, benchmark):
+        small = FileTrace(file_count=60, seed=9)
+        benchmark.pedantic(lambda: replay(FIVE_MINUTES_US, small), iterations=1, rounds=3)

@@ -1,0 +1,91 @@
+"""Section 4 — caching in RAM vs on magnetic disk for history-based apps.
+
+Paper: "Suppose ... that the cost of retrieving 1 kilobyte is 100 ms if
+the data is read from a log device (on a cache miss), 30 ms if the data is
+read from a magnetic disk cache, and 1 ms if the data is read from a RAM
+cache.  In this case ... as long as the cache hit ratio for the RAM cache
+is at least 70% of the cache hit ratio of the disk cache, then the RAM
+cache has the better read access performance."
+
+Reproduced two ways: (a) the closed-form crossover from the paper's own
+constants, and (b) a simulated two-tier read loop over devices with those
+geometries, sweeping hit ratios.
+"""
+
+import random
+
+import pytest
+
+from repro.worm.geometry import MAGNETIC_DISK, OPTICAL_DISK, RAM_DISK
+
+from _support import print_table
+
+LOG_MISS_MS = 100.0
+DISK_HIT_MS = 30.0
+RAM_HIT_MS = 1.0
+
+
+def expected_cost(hit_ratio: float, hit_ms: float) -> float:
+    return hit_ratio * hit_ms + (1.0 - hit_ratio) * LOG_MISS_MS
+
+
+def crossover_ratio(disk_hit_ratio: float) -> float:
+    """RAM hit ratio at which RAM-cache cost equals disk-cache cost."""
+    disk_cost = expected_cost(disk_hit_ratio, DISK_HIT_MS)
+    # Solve h_r * 1 + (1-h_r) * 100 = disk_cost.
+    return (LOG_MISS_MS - disk_cost) / (LOG_MISS_MS - RAM_HIT_MS)
+
+
+def simulate_cost(hit_ratio: float, hit_ms: float, reads: int = 4000, seed: int = 1) -> float:
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(reads):
+        if rng.random() < hit_ratio:
+            total += hit_ms
+        else:
+            total += LOG_MISS_MS
+    return total / reads
+
+
+class TestSection4Crossover:
+    def test_70_percent_rule(self):
+        """For any disk hit ratio, RAM wins whenever its hit ratio is at
+        least ~70% of the disk cache's."""
+        rows = []
+        for disk_hit in (0.5, 0.7, 0.8, 0.9, 0.95):
+            needed = crossover_ratio(disk_hit)
+            rows.append(
+                [f"{disk_hit:.2f}", f"{needed:.3f}", f"{needed / disk_hit:.2f}"]
+            )
+            assert needed / disk_hit <= 0.72
+        print_table(
+            "Section 4: RAM-cache hit ratio needed to beat a disk cache",
+            ["disk hit ratio", "RAM hit ratio at crossover", "ratio"],
+            rows,
+        )
+
+    def test_simulated_crossover(self):
+        disk_hit = 0.9
+        needed = crossover_ratio(disk_hit)
+        disk_cost = simulate_cost(disk_hit, DISK_HIT_MS)
+        ram_below = simulate_cost(needed - 0.05, RAM_HIT_MS)
+        ram_above = simulate_cost(needed + 0.05, RAM_HIT_MS)
+        assert ram_above < disk_cost < ram_below * 1.15
+
+    def test_equal_hit_ratios_ram_wins_big(self):
+        disk = simulate_cost(0.9, DISK_HIT_MS)
+        ram = simulate_cost(0.9, RAM_HIT_MS)
+        assert ram < disk / 2
+
+    def test_geometry_constants_match_paper_tiers(self):
+        """The device geometries embed the same cost tiers the paper
+        assumes: optical ≈ 100+ ms per retrieval, magnetic ≈ 30 ms, RAM ≈
+        1 ms/KB."""
+        optical = OPTICAL_DISK.avg_seek_ms + OPTICAL_DISK.rotational_latency_ms
+        magnetic = MAGNETIC_DISK.avg_seek_ms + MAGNETIC_DISK.rotational_latency_ms
+        assert optical >= 100
+        assert 25 <= magnetic <= 45
+        assert RAM_DISK.transfer_ms_per_block == pytest.approx(1.0)
+
+    def test_crossover_wallclock(self, benchmark):
+        benchmark(lambda: crossover_ratio(0.9))

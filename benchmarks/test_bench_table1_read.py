@@ -1,0 +1,131 @@
+"""Table 1 — measured cost of a log entry read vs search distance, given
+complete caching.
+
+Paper (N=16, 1 KB blocks, Sun-3, everything cached):
+
+    distance   entrymap entries   blocks read   time (ms)
+    0          0                  1             1.46
+    N          1                  3             2.71
+    N^2        3                  5             3.82
+    N^3        5                  7             5.06
+    N^4        7                  9             6.51
+    N^5        9                  11            8.10
+
+This bench reproduces the counts on the real service with a cache sized to
+hold everything, and the times via the Sun-3 cost model (≈ base + 0.6 ms
+per cached block access).  N^4 and N^5 distances take minutes of Python to
+materialize block-by-block, so the default run covers k = 0..3 and the
+counts for k = 4, 5 are covered by the (structure-identical) Figure 3
+simulation; pass REPRO_TABLE1_FULL=1 in the environment to build them for
+real.
+"""
+
+import os
+
+import pytest
+
+from _support import advance_to_block, make_service, measure_locate_from_tail, print_table
+
+N = 16
+KS = [0, 1, 2, 3] + ([4] if os.environ.get("REPRO_TABLE1_FULL") else [])
+
+#: Paper's Table 1 rows, by k: (entrymap entries, blocks, ms)
+PAPER = {
+    0: (0, 1, 1.46),
+    1: (1, 3, 2.71),
+    2: (3, 5, 3.82),
+    3: (5, 7, 5.06),
+    4: (7, 9, 6.51),
+    5: (9, 11, 8.10),
+}
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    results = {}
+    for k in KS:
+        distance = N**k
+        service = make_service(
+            block_size=1024,
+            degree_n=N,
+            volume_capacity_blocks=max(4096, distance * 2 + 64),
+            cache_capacity_blocks=max(8192, distance * 2 + 64),
+        )
+        target = service.create_log_file("/app")
+        filler = service.create_log_file("/filler")
+        if k == 0:
+            # Target entry in the current block.
+            target.append(b"T" * 50)
+        else:
+            target.append(b"T" * 50)
+            advance_to_block(service, filler, distance)
+        results[k] = measure_locate_from_tail(service, target.logfile_id)
+    return results
+
+
+class TestTable1:
+    def test_counts_match_paper(self, measurements):
+        rows = []
+        for k in KS:
+            paper_entries, paper_blocks, paper_ms = PAPER[k]
+            m = measurements[k]
+            rows.append(
+                [
+                    f"N^{k}",
+                    N**k,
+                    m["entrymap_entries"],
+                    paper_entries,
+                    m["block_accesses"],
+                    paper_blocks,
+                    f"{m['sim_ms']:.2f}",
+                    paper_ms,
+                ]
+            )
+        print_table(
+            "Table 1: read cost vs search distance (complete caching, N=16)",
+            [
+                "dist",
+                "blocks",
+                "entrymap",
+                "paper",
+                "accesses",
+                "paper",
+                "sim ms",
+                "paper ms",
+            ],
+            rows,
+        )
+        for k in KS:
+            paper_entries, paper_blocks, _ = PAPER[k]
+            m = measurements[k]
+            assert abs(m["entrymap_entries"] - paper_entries) <= 1, k
+            assert abs(m["block_accesses"] - paper_blocks) <= 1, k
+
+    def test_everything_served_from_cache(self, measurements):
+        for k, m in measurements.items():
+            assert m["cache_misses"] == 0, k
+
+    def test_simulated_times_match_paper(self, measurements):
+        for k in KS:
+            _, _, paper_ms = PAPER[k]
+            assert measurements[k]["sim_ms"] == pytest.approx(paper_ms, abs=0.75), k
+
+    def test_time_grows_logarithmically(self, measurements):
+        times = [measurements[k]["sim_ms"] for k in KS]
+        assert times == sorted(times)
+        # Each 16x of distance adds roughly a constant increment.
+        increments = [b - a for a, b in zip(times, times[1:])]
+        if len(increments) >= 2:
+            assert max(increments) - min(increments) < 1.0
+
+    def test_read_wallclock(self, measurements, benchmark):
+        service = make_service(block_size=1024, degree_n=N)
+        target = service.create_log_file("/app")
+        filler = service.create_log_file("/filler")
+        target.append(b"T" * 50)
+        advance_to_block(service, filler, N**2)
+        benchmark(
+            lambda: service.reader.locate_prev_global(
+                target.logfile_id, service.writer.tail_global_block
+            )
+        )

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Crash recovery walkthrough (paper Sections 2.3 and 3.4).
+
+A transaction manager runs over the log service; the server crashes with
+volatile memory lost; the surviving media are mounted, running the paper's
+three-step recovery (find tail → rebuild entrymap → replay catalog); the
+transaction manager then redoes exactly the committed transactions.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import LogService
+from repro.apps import TransactionManager
+
+
+def main() -> None:
+    service = LogService.create(
+        block_size=512,
+        degree_n=8,
+        volume_capacity_blocks=2048,
+        supports_tail_query=False,  # force the binary-search tail hunt
+    )
+    manager = TransactionManager(service)
+
+    print("== committing five transactions (forced on commit) ==")
+    for i in range(5):
+        txn = manager.begin()
+        txn.write(f"account-{i}".encode(), f"balance={100 * i}".encode())
+        manager.commit(txn)
+        print(f"  committed txn {txn.txn_id}")
+
+    print("== one transaction writes but never commits ==")
+    orphan = manager.begin()
+    orphan.write(b"account-X", b"balance=999999")
+    manager._append_body(orphan)  # body reaches the log; COMMIT does not
+    print(f"  txn {orphan.txn_id} left dangling")
+
+    print("== crash: volatile memory (cache, catalog, entrymap accs) lost ==")
+    remains = service.crash()
+
+    print("== mount: the three-step recovery ==")
+    mounted, report = LogService.mount(remains.devices, remains.nvram)
+    for vstats in report.volumes:
+        print(
+            f"  volume {vstats.volume_index}: tail found with "
+            f"{vstats.tail_probes} probes (binary search), entrymap rebuilt "
+            f"by examining {vstats.blocks_examined} blocks"
+        )
+    print(f"  catalog records replayed: {report.catalog_records_replayed}")
+    print(f"  NVRAM tail recovered:     {report.nvram_tail_recovered}")
+
+    print("== redo recovery in the transaction manager ==")
+    fresh = TransactionManager(mounted)
+    applied = fresh.recover()
+    print(f"  committed transactions applied: {applied}")
+    for key in sorted(fresh.data):
+        print(f"  {key.decode()} = {fresh.data[key].decode()}")
+    assert b"account-X" not in fresh.data
+    print("  dangling transaction correctly discarded")
+
+
+if __name__ == "__main__":
+    main()

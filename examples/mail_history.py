@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The history-based mail system (paper Section 4.2).
+
+Mailboxes are sublogs of /mail; the per-user agent caches a mailbox view
+and keeps pointers into the permanent mail history.  "Deleting" a message
+hides it from the view — the history keeps it forever, and an agent that
+loses all volatile state recovers its mailbox entirely from the log.
+
+Run:  python examples/mail_history.py
+"""
+
+from repro import LogService
+from repro.apps import MailAgent, MailSystem
+
+
+def main() -> None:
+    service = LogService.create(
+        block_size=1024, degree_n=16, volume_capacity_blocks=4096
+    )
+    system = MailSystem(service)
+    agent = MailAgent(system, "smith")
+
+    print("== delivering mail ==")
+    system.deliver("smith", "jones", "meeting", b"Can we meet at 3?")
+    system.deliver("smith", "root", "quota", b"You are over quota.")
+    system.deliver("jones", "smith", "re: meeting", b"3 works.")
+    system.deliver("smith", "jones", "lunch", b"Cafeteria at noon?")
+
+    agent.sync()
+    print(f"  smith's mailbox has {len(agent.list_messages())} messages")
+
+    print("== 'deleting' the quota nag (mailbox view only) ==")
+    quota = next(m for m in agent.list_messages() if m.subject == "quota")
+    agent.hide(quota.timestamp)
+    for message in agent.list_messages():
+        print(f"  visible: {message.subject!r} from {message.sender}")
+
+    print("== the history still has everything ==")
+    for message in agent.search_history():
+        print(f"  history: {message.subject!r} from {message.sender}")
+
+    print("== agent loses all volatile state and recovers from the log ==")
+    agent.crash()
+    recovered = agent.recover()
+    print(f"  recovered {recovered} messages from the mail history")
+
+    print("== the parent log /mail sees all users' mail ==")
+    print(f"  total messages ever delivered: {len(system.all_mail())}")
+
+    print("== even a full server crash loses nothing ==")
+    remains = service.crash()
+    mounted, _ = LogService.mount(remains.devices, remains.nvram)
+    system2 = MailSystem(mounted)
+    agent2 = MailAgent(system2, "smith")
+    agent2.sync()
+    print(f"  smith's mailbox after server recovery: "
+          f"{len(agent2.list_messages())} messages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""The paper's closed-form cost models, used as theory overlays by the
+benchmarks (Figures 3 and 4, Sections 2.2 and 3.5)."""
+
+from repro.analysis.locate_model import (
+    FIGURE3_DEGREES,
+    FIGURE3_DISTANCES,
+    blocks_read,
+    entrymap_entries_examined,
+    figure3_curve,
+)
+from repro.analysis.recovery_model import (
+    FIGURE4_DEGREES,
+    FIGURE4_SIZES,
+    expected_blocks_examined,
+    figure4_curve,
+    worst_case_blocks_examined,
+)
+from repro.analysis.space_model import (
+    entrymap_entry_size,
+    entrymap_overhead_bound,
+    header_overhead_fraction,
+    login_log_paper_params,
+)
+
+__all__ = [
+    "entrymap_entries_examined",
+    "blocks_read",
+    "figure3_curve",
+    "FIGURE3_DEGREES",
+    "FIGURE3_DISTANCES",
+    "expected_blocks_examined",
+    "worst_case_blocks_examined",
+    "figure4_curve",
+    "FIGURE4_DEGREES",
+    "FIGURE4_SIZES",
+    "header_overhead_fraction",
+    "entrymap_entry_size",
+    "entrymap_overhead_bound",
+    "login_log_paper_params",
+]

@@ -1,0 +1,60 @@
+"""Closed-form locate-cost model (Section 3.3.1, Figure 3).
+
+"If the next (or previous) entry in this file happens to be d blocks away
+from the current block, then it can be located by examining [about
+2·log_N(d) − 1 entrymap log entries], where N is the size of a bitmap in
+an entrymap log entry."  Table 1's distances confirm the 2k−1 pattern for
+d = N^k, and the paper notes that "for a given d, as N increases, n
+decreases by a factor of only about 1/log N, so that there is little
+benefit in N being larger than 16 or 32".
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "entrymap_entries_examined",
+    "blocks_read",
+    "figure3_curve",
+    "FIGURE3_DISTANCES",
+    "FIGURE3_DEGREES",
+]
+
+FIGURE3_DEGREES = [4, 8, 16, 64, 128]
+FIGURE3_DISTANCES = [10**k for k in range(1, 8)]
+
+
+def entrymap_entries_examined(distance: int, degree: int) -> float:
+    """Expected entrymap log entries examined to locate an entry
+    ``distance`` blocks away: ≈ 2·log_N(d) − 1 (ascent of ⌈log_N d⌉
+    levels plus descent of ⌈log_N d⌉ − 1), floored at 0 for same-group
+    targets."""
+    if distance < 1:
+        return 0.0
+    if degree < 2:
+        raise ValueError("degree must be >= 2")
+    if distance < degree:
+        return 1.0
+    k = math.log(distance, degree)
+    return max(0.0, 2.0 * k - 1.0)
+
+
+def blocks_read(distance: int, degree: int) -> float:
+    """Table 1's block-access count: the entrymap entries plus the current
+    block and the target block."""
+    if distance < 1:
+        return 1.0
+    return entrymap_entries_examined(distance, degree) + 2.0
+
+
+def figure3_curve(
+    degrees: list[int] | None = None, distances: list[int] | None = None
+) -> dict[int, list[tuple[int, float]]]:
+    """Figure 3's data: for each N, (d, expected entries examined)."""
+    degrees = degrees or FIGURE3_DEGREES
+    distances = distances or FIGURE3_DISTANCES
+    return {
+        degree: [(d, entrymap_entries_examined(d, degree)) for d in distances]
+        for degree in degrees
+    }

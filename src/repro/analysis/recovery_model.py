@@ -1,0 +1,56 @@
+"""Closed-form recovery-cost model (Section 3.4, Figure 4).
+
+"To reconstruct missing level-1 entrymap information, the server need
+examine the blocks that were written since the last level-1 entrymap log
+entry was logged.  There are between 0 and N such blocks (N/2 on average).
+Similarly, level-i entrymap information (for i > 1) can be reconstructed
+by examining between 0 and N recent level-(i−1) entrymap log entries.  In
+total, it may be necessary to examine N·log_N(b) blocks, where b is the
+total number of blocks that have been written to the volume so far.  On
+average, roughly n = (N·log_N b)/2 such blocks are read."
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "expected_blocks_examined",
+    "worst_case_blocks_examined",
+    "figure4_curve",
+    "FIGURE4_DEGREES",
+    "FIGURE4_SIZES",
+]
+
+FIGURE4_DEGREES = [4, 8, 16, 64, 128]
+FIGURE4_SIZES = [10**k for k in range(2, 9)]
+
+
+def expected_blocks_examined(blocks_written: int, degree: int) -> float:
+    """Average blocks examined to reconstruct entrymap info:
+    (N·log_N b)/2.  Increases with N — larger bitmaps widen the scope of
+    each entry but also the separation between entries."""
+    if blocks_written < 1:
+        return 0.0
+    if degree < 2:
+        raise ValueError("degree must be >= 2")
+    if blocks_written < degree:
+        return blocks_written / 2.0
+    return degree * math.log(blocks_written, degree) / 2.0
+
+
+def worst_case_blocks_examined(blocks_written: int, degree: int) -> float:
+    """Worst case: N·log_N(b)."""
+    return 2.0 * expected_blocks_examined(blocks_written, degree)
+
+
+def figure4_curve(
+    degrees: list[int] | None = None, sizes: list[int] | None = None
+) -> dict[int, list[tuple[int, float]]]:
+    """Figure 4's data: for each N, (b, expected blocks examined)."""
+    degrees = degrees or FIGURE4_DEGREES
+    sizes = sizes or FIGURE4_SIZES
+    return {
+        degree: [(b, expected_blocks_examined(b, degree)) for b in sizes]
+        for degree in degrees
+    }

@@ -1,0 +1,129 @@
+"""Performance monitoring over log files.
+
+The abstract's third canonical use: "application programs and subsystems
+use log services for recovery, to record security audit trails, and for
+performance monitoring."  :class:`MetricsLog` records periodic counter
+samples into a log file; queries slice the history by time (the log
+service's time-range reads) and fold aggregates — a miniature time-series
+database whose storage engine is just a log file.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core import LogService
+
+__all__ = ["Sample", "MetricsLog", "SeriesStats"]
+
+_SAMPLE = struct.Struct(">QdH")
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """One metric observation."""
+
+    metric: str
+    value: float
+    observed_us: int
+
+    def encode(self) -> bytes:
+        name = self.metric.encode()
+        return _SAMPLE.pack(self.observed_us, self.value, len(name)) + name
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Sample":
+        observed_us, value, name_len = _SAMPLE.unpack_from(payload, 0)
+        name = payload[_SAMPLE.size : _SAMPLE.size + name_len].decode()
+        return cls(metric=name, value=value, observed_us=observed_us)
+
+
+@dataclass(slots=True)
+class SeriesStats:
+    """Aggregates over one metric's samples in a time window."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def fold(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsLog:
+    """Periodic counter samples, one sublog per metric under ``/metrics``."""
+
+    def __init__(self, service: LogService, root_path: str = "/metrics"):
+        self.service = service
+        try:
+            self.root = service.open_log_file(root_path)
+        except Exception:
+            self.root = service.create_log_file(root_path)
+        self._sublogs: dict[str, object] = {}
+
+    def _sublog(self, metric: str):
+        if metric not in self._sublogs:
+            try:
+                self._sublogs[metric] = self.service.open_log_file(
+                    f"{self.root.path}/{metric}"
+                )
+            except Exception:
+                self._sublogs[metric] = self.root.create_sublog(metric)
+        return self._sublogs[metric]
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, metric: str, value: float) -> None:
+        """Record one observation (unforced: monitoring data trades a
+        little durability for throughput)."""
+        sample = Sample(
+            metric=metric, value=value, observed_us=self.service.clock.now_us
+        )
+        self._sublog(metric).append(sample.encode(), timestamped=False)
+
+    def checkpoint(self) -> None:
+        """Force the buffered tail — e.g. at the end of a reporting period."""
+        self.service.sync()
+
+    # -- querying ------------------------------------------------------------------
+
+    def samples(self, metric: str, since: int | None = None) -> list[Sample]:
+        kwargs = {"since": since} if since is not None else {}
+        return [
+            Sample.decode(entry.data)
+            for entry in self._sublog(metric).entries(**kwargs)
+        ]
+
+    def all_samples(self, since: int | None = None) -> list[Sample]:
+        """Every metric's samples, interleaved in recording order — served
+        by the parent log file."""
+        kwargs = {"since": since} if since is not None else {}
+        return [Sample.decode(entry.data) for entry in self.root.entries(**kwargs)]
+
+    def stats(
+        self,
+        metric: str,
+        start_us: int | None = None,
+        end_us: int | None = None,
+    ) -> SeriesStats:
+        """Aggregate a metric over an observation-time window."""
+        out = SeriesStats()
+        for sample in self.samples(metric):
+            if start_us is not None and sample.observed_us < start_us:
+                continue
+            if end_us is not None and sample.observed_us > end_us:
+                continue
+            out.fold(sample.value)
+        return out
+
+    def metrics(self) -> list[str]:
+        return sorted(self.service.list_dir(self.root.path))

@@ -1,0 +1,27 @@
+"""Comparators from the paper's Sections 1 and 5."""
+
+from repro.baselines.binarytree import BinaryTreeLog, LocateResult
+from repro.baselines.conventional import (
+    GrowthReport,
+    full_backup_cost,
+    grow_interleaved_extent_files,
+    grow_log_file,
+    grow_unix_file,
+    incremental_log_backup_cost,
+    tail_read_profile,
+)
+from repro.baselines.swallow import SwallowRepository, VersionRecord
+
+__all__ = [
+    "BinaryTreeLog",
+    "LocateResult",
+    "SwallowRepository",
+    "VersionRecord",
+    "GrowthReport",
+    "grow_unix_file",
+    "tail_read_profile",
+    "grow_interleaved_extent_files",
+    "grow_log_file",
+    "full_backup_cost",
+    "incremental_log_backup_cost",
+]

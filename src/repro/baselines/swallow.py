@@ -1,0 +1,147 @@
+"""Swallow comparator (Section 5.1).
+
+Svobodova's Swallow [SOSP 1981] is "a reliable, long-term data repository
+that could use write-once storage media", designed around *object
+versions*: "each object version ... is linked to the previously written
+version of the same object.  This link is the only 'location' information
+that is written to permanent storage."
+
+Section 5.1's consequences, each of which this model makes measurable:
+
+* Backward reads along a version chain are cheap (one block per version),
+  but "it is impossible to scan forwards through an object history,
+  without reading every subsequent block on the storage device."
+* "Swallow does not ensure that versions of different objects are written
+  to the repository in the order of arrival; such an ordering is
+  guaranteed only for different versions of the same object" — modelled by
+  per-object buffering that flushes objects in bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VersionRecord", "SwallowRepository"]
+
+
+@dataclass(frozen=True, slots=True)
+class VersionRecord:
+    """One object version as stored on the medium."""
+
+    object_id: int
+    version: int
+    data: bytes
+    prev_block: int | None  # block of the previous version of this object
+
+
+class SwallowRepository:
+    """Append-only version repository with backward-only links.
+
+    One version per block, to keep the read-cost arithmetic transparent:
+    every block read is one device access.
+    """
+
+    def __init__(self, buffer_threshold: int = 1):
+        #: The write-once medium: block -> VersionRecord.
+        self._blocks: list[VersionRecord] = []
+        #: Rewriteable header: current-version block per object.
+        self._heads: dict[int, int] = {}
+        self._versions: dict[int, int] = {}
+        #: Per-object buffers modelling deferred, out-of-arrival-order
+        #: flushing (buffer_threshold=1 flushes immediately).
+        self._buffers: dict[int, list[bytes]] = {}
+        self.buffer_threshold = buffer_threshold
+        self.block_reads = 0
+        #: Arrival order of (object, version), for order-inversion tests.
+        self.arrival_order: list[tuple[int, int]] = []
+
+    # -- write side -----------------------------------------------------------
+
+    def write_version(self, object_id: int, data: bytes) -> None:
+        version = self._versions.get(object_id, 0)
+        self._versions[object_id] = version + 1
+        self.arrival_order.append((object_id, version))
+        self._buffers.setdefault(object_id, []).append(data)
+        if len(self._buffers[object_id]) >= self.buffer_threshold:
+            self._flush_object(object_id)
+
+    def flush_all(self) -> None:
+        for object_id in list(self._buffers):
+            self._flush_object(object_id)
+
+    def _flush_object(self, object_id: int) -> None:
+        pending = self._buffers.pop(object_id, [])
+        for data in pending:
+            prev = self._heads.get(object_id)
+            base_version = (
+                self._blocks[prev].version + 1 if prev is not None else 0
+            )
+            record = VersionRecord(
+                object_id=object_id,
+                version=base_version,
+                data=data,
+                prev_block=prev,
+            )
+            self._blocks.append(record)
+            self._heads[object_id] = len(self._blocks) - 1
+
+    # -- read side --------------------------------------------------------------
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    def medium_order(self) -> list[tuple[int, int]]:
+        """(object, version) pairs in on-medium order."""
+        return [(r.object_id, r.version) for r in self._blocks]
+
+    def _read_block(self, block: int) -> VersionRecord:
+        self.block_reads += 1
+        return self._blocks[block]
+
+    def read_current(self, object_id: int) -> VersionRecord | None:
+        head = self._heads.get(object_id)
+        if head is None:
+            return None
+        return self._read_block(head)
+
+    def read_versions_back(self, object_id: int, count: int) -> list[VersionRecord]:
+        """Walk the backward chain: the access pattern Swallow optimizes
+        ('almost all accesses are to the most recently written version')."""
+        out = []
+        block = self._heads.get(object_id)
+        while block is not None and len(out) < count:
+            record = self._read_block(block)
+            out.append(record)
+            block = record.prev_block
+        return out
+
+    def scan_forward(
+        self, object_id: int, from_version: int
+    ) -> tuple[list[VersionRecord], int]:
+        """Versions of ``object_id`` at or after ``from_version``, in order.
+
+        With only backward links, the implementation must locate the old
+        version (via the chain) and then *read every subsequent block on
+        the device*, filtering — Section 5.1's impossibility made concrete.
+        Returns (versions, block reads consumed).
+        """
+        reads_before = self.block_reads
+        # Find the block of from_version by walking back (chain reads).
+        block = self._heads.get(object_id)
+        start_block = None
+        while block is not None:
+            record = self._read_block(block)
+            if record.version == from_version:
+                start_block = block
+                break
+            block = record.prev_block
+        if start_block is None:
+            return [], self.block_reads - reads_before
+        # Forward scan: every subsequent block must be read.
+        versions = []
+        for candidate in range(start_block, len(self._blocks)):
+            record = self._read_block(candidate)
+            if record.object_id == object_id and record.version >= from_version:
+                versions.append(record)
+        return versions, self.block_reads - reads_before

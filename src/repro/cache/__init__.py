@@ -1,0 +1,6 @@
+"""Shared block cache substrate (the file server's buffer pool)."""
+
+from repro.cache.block_cache import BlockCache
+from repro.cache.stats import CacheStats
+
+__all__ = ["BlockCache", "CacheStats"]

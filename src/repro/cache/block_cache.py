@@ -1,0 +1,119 @@
+"""The server's main-memory block cache (buffer pool).
+
+Clio "is able to use much of the existing mechanism of the file server,
+such as the buffer pool" (Section 1).  This cache is therefore *shared*:
+the conventional file system and the log service both run through one
+instance, keyed by ``(namespace, block_address)`` so regular-file blocks
+and log-volume blocks coexist without colliding.
+
+Replacement is LRU with optional pinning (a pinned block — e.g. the tail
+block the writer is filling — is never evicted).  The cache itself charges
+no simulated time: device time is charged by the device a miss falls
+through to, and per-block interpretation time is charged by the reader,
+matching the paper's cost decomposition.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+from repro.cache.stats import CacheStats
+
+__all__ = ["BlockCache"]
+
+
+class BlockCache:
+    """A fixed-capacity LRU buffer pool keyed by arbitrary hashable keys."""
+
+    def __init__(self, capacity_blocks: int):
+        if capacity_blocks <= 0:
+            raise ValueError(
+                f"capacity_blocks must be positive, got {capacity_blocks}"
+            )
+        self.capacity_blocks = capacity_blocks
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, bytes] = OrderedDict()
+        self._pinned: set[Hashable] = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    # -- core operations ---------------------------------------------------
+
+    def get(self, key: Hashable, loader: Callable[[], bytes]) -> bytes:
+        """Return the cached block, calling ``loader`` on a miss.
+
+        The loader's result is inserted (possibly evicting the LRU unpinned
+        block) and returned.
+        """
+        data = self._entries.get(key)
+        if data is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return data
+        self.stats.misses += 1
+        data = loader()
+        self._insert(key, data)
+        return data
+
+    def peek(self, key: Hashable) -> bytes | None:
+        """Return the cached block without counting an access or touching LRU."""
+        return self._entries.get(key)
+
+    def put(self, key: Hashable, data: bytes) -> None:
+        """Insert or refresh a block (e.g. one the writer just produced)."""
+        if key in self._entries:
+            self._entries[key] = data
+            self._entries.move_to_end(key)
+        else:
+            self._insert(key, data)
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop a block from the cache (unpins it if pinned)."""
+        self._pinned.discard(key)
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop everything — models the loss of volatile memory in a crash."""
+        self._entries.clear()
+        self._pinned.clear()
+
+    # -- pinning --------------------------------------------------------------
+
+    def pin(self, key: Hashable) -> None:
+        if key not in self._entries:
+            raise KeyError(f"cannot pin uncached block {key!r}")
+        self._pinned.add(key)
+
+    def unpin(self, key: Hashable) -> None:
+        self._pinned.discard(key)
+
+    def is_pinned(self, key: Hashable) -> bool:
+        return key in self._pinned
+
+    # -- internals ---------------------------------------------------------------
+
+    def _insert(self, key: Hashable, data: bytes) -> None:
+        self._entries[key] = data
+        self._entries.move_to_end(key)
+        self.stats.insertions += 1
+        while len(self._entries) > self.capacity_blocks:
+            victim = self._find_victim(exclude=key)
+            if victim is None:
+                # Everything is pinned; allow temporary over-capacity rather
+                # than deadlock.  The writer pins at most one block, so this
+                # only triggers in pathological tests.
+                break
+            del self._entries[victim]
+            self.stats.evictions += 1
+
+    def _find_victim(self, exclude: Hashable) -> Hashable | None:
+        # Never evict the block being inserted, even under full pin pressure.
+        for key in self._entries:
+            if key not in self._pinned and key != exclude:
+                return key
+        return None

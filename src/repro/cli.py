@@ -1,0 +1,297 @@
+"""``clio`` — a command-line front end for the log service.
+
+Stores a volume sequence as device images in a directory (one
+``vol-NNN.img`` per volume, plus ``nvram.img`` staging the tail), so log
+files persist across invocations:
+
+    clio init /tmp/store --block-size 1024 --degree 16 --capacity 4096
+    clio create /tmp/store /mail
+    clio create /tmp/store /mail/smith
+    clio append /tmp/store /mail/smith "hello smith"
+    echo "piped body" | clio append /tmp/store /mail/smith --stdin
+    clio cat /tmp/store /mail               # sublog entries included
+    clio ls /tmp/store /mail
+    clio info /tmp/store
+    clio fsck /tmp/store
+
+Every append invocation syncs the tail to the NVRAM sidecar before
+returning, so each command is durable; ``--stdin --lines`` batches one
+entry per input line under a single sync.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+
+from repro.core import LogService
+from repro.core.fsck import check_service
+from repro.worm.filebacked import FileBackedNvram, FileBackedWormDevice
+
+__all__ = ["main"]
+
+
+def _volume_paths(directory: str) -> list[str]:
+    return sorted(glob.glob(os.path.join(directory, "vol-*.img")))
+
+
+def _make_factory(directory: str, block_size: int, capacity: int):
+    def factory() -> FileBackedWormDevice:
+        index = len(_volume_paths(directory))
+        path = os.path.join(directory, f"vol-{index:03d}.img")
+        return FileBackedWormDevice.create(
+            path, block_size=block_size, capacity_blocks=capacity
+        )
+
+    return factory
+
+
+def _mount(directory: str, read_only: bool = False) -> LogService:
+    paths = _volume_paths(directory)
+    if not paths:
+        raise SystemExit(f"error: no Clio store in {directory!r} (run `clio init`)")
+    devices = [FileBackedWormDevice.open_path(path) for path in paths]
+    block_size = devices[0].block_size
+    capacity = devices[0].capacity_blocks
+    nvram = FileBackedNvram(
+        os.path.join(directory, "nvram.img"), capacity_bytes=block_size
+    )
+    service, _report = LogService.mount(
+        devices,
+        nvram,
+        device_factory=_make_factory(directory, block_size, capacity),
+        read_only=read_only,
+    )
+    return service
+
+
+# ---------------------------------------------------------------------- #
+# Commands
+# ---------------------------------------------------------------------- #
+
+
+def cmd_init(args) -> int:
+    os.makedirs(args.store, exist_ok=True)
+    if _volume_paths(args.store):
+        print(f"error: {args.store!r} already contains a Clio store", file=sys.stderr)
+        return 1
+    factory = _make_factory(args.store, args.block_size, args.capacity)
+    nvram = FileBackedNvram(
+        os.path.join(args.store, "nvram.img"), capacity_bytes=args.block_size
+    )
+    LogService.create(
+        block_size=args.block_size,
+        degree_n=args.degree,
+        volume_capacity_blocks=args.capacity,
+        device_factory=factory,
+        nvram=nvram,
+    )
+    print(
+        f"initialized Clio store in {args.store}: {args.block_size}-byte "
+        f"blocks, N={args.degree}, {args.capacity} blocks/volume"
+    )
+    return 0
+
+
+def cmd_create(args) -> int:
+    service = _mount(args.store)
+    log = service.create_log_file(args.path, permissions=args.mode)
+    print(f"created {log.path} (log file id {log.logfile_id})")
+    return 0
+
+
+def cmd_ls(args) -> int:
+    service = _mount(args.store, read_only=True)
+    for name, handle in service.list_dir(args.path).items():
+        print(f"{handle.logfile_id:5d}  {name}")
+    return 0
+
+
+def cmd_append(args) -> int:
+    service = _mount(args.store)
+    if args.stdin:
+        raw = sys.stdin.buffer.read()
+        payloads = raw.splitlines() if args.lines else [raw]
+    elif args.data is not None:
+        payloads = [args.data.encode()]
+    else:
+        print("error: provide DATA or --stdin", file=sys.stderr)
+        return 1
+    last = None
+    for payload in payloads:
+        last = service.append(args.path, payload)
+    # The CLI process exits after this command, so the batch is synced to
+    # the NVRAM sidecar before returning — per-invocation durability.
+    service.sync()
+    total = sum(len(p) for p in payloads)
+    print(
+        f"appended {len(payloads)} entr{'y' if len(payloads) == 1 else 'ies'} "
+        f"({total} bytes), last ts={last.timestamp}"
+    )
+    return 0
+
+
+def cmd_cat(args) -> int:
+    service = _mount(args.store, read_only=True)
+    count = 0
+    iterator = service.read_entries(
+        args.path, reverse=args.reverse, since=args.since_us
+    )
+    for entry in iterator:
+        if args.limit is not None and count >= args.limit:
+            break
+        prefix = f"[{entry.timestamp}] " if args.timestamps else ""
+        sys.stdout.write(prefix)
+        sys.stdout.flush()
+        sys.stdout.buffer.write(entry.data)
+        sys.stdout.write("\n")
+        count += 1
+    return 0
+
+
+def cmd_info(args) -> int:
+    service = _mount(args.store, read_only=True)
+    sequence = service.store.sequence
+    config = service.store.config
+    print(f"volumes:        {len(sequence.volumes)}")
+    for index, volume in enumerate(sequence.volumes):
+        written = max(0, volume.next_data_block)
+        status = "active" if not volume.is_sealed else "sealed"
+        print(
+            f"  vol {index}: {written}/{volume.data_capacity} data blocks "
+            f"written ({status})"
+        )
+    print(f"block size:     {config.block_size}")
+    print(f"entrymap N:     {config.degree_n}")
+    # Space counters are per-session; derive the persistent totals by
+    # scanning the volume sequence log file (id 0 = everything).
+    client_entries = 0
+    client_bytes = 0
+    for entry in service.reader.iter_entries(0, start_global=0):
+        if entry.logfile_id >= 8:
+            client_entries += 1
+            client_bytes += len(entry.data)
+    print(f"client entries: {client_entries}")
+    print(f"client bytes:   {client_bytes}")
+    print("log files:")
+
+    def walk(path: str, depth: int) -> None:
+        for name, handle in service.list_dir(path).items():
+            print(f"  {'  ' * depth}{handle.path}  (id {handle.logfile_id})")
+            walk(handle.path, depth + 1)
+
+    walk("/", 0)
+    return 0
+
+
+def cmd_volumes(args) -> int:
+    """List the volume sequence (the offline/online state is a property of
+    a running server session; the CLI mounts all images fresh each time)."""
+    service = _mount(args.store, read_only=True)
+    for index, volume in enumerate(service.store.sequence.volumes):
+        written = max(0, volume.next_data_block)
+        state = []
+        state.append("sealed" if volume.is_sealed else "active")
+        state.append("online" if volume.is_online else "offline")
+        print(
+            f"vol {index}: {written}/{volume.data_capacity} blocks, "
+            f"{', '.join(state)}"
+        )
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    service = _mount(args.store, read_only=True)
+    report = check_service(service)
+    print(
+        f"checked {report.blocks_checked} blocks, {report.entries_checked} "
+        f"entries, {report.entrymap_records_checked} entrymap records, "
+        f"{report.catalog_records_checked} catalog records"
+    )
+    for finding in report.findings:
+        location = (
+            f"vol {finding.volume_index} block {finding.block}"
+            if finding.block is not None
+            else f"vol {finding.volume_index}"
+        )
+        print(f"{finding.severity.upper()}: {location}: {finding.message}")
+    if report.clean:
+        print("clean")
+        return 0
+    return 2
+
+
+# ---------------------------------------------------------------------- #
+# Argument parsing
+# ---------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="clio", description="Clio log files on write-once storage"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p = commands.add_parser("init", help="initialize a new store directory")
+    p.add_argument("store")
+    p.add_argument("--block-size", type=int, default=1024)
+    p.add_argument("--degree", type=int, default=16)
+    p.add_argument("--capacity", type=int, default=4096, help="blocks per volume")
+    p.set_defaults(handler=cmd_init)
+
+    p = commands.add_parser("create", help="create a log file / sublog")
+    p.add_argument("store")
+    p.add_argument("path")
+    p.add_argument("--mode", type=lambda v: int(v, 8), default=0o644)
+    p.set_defaults(handler=cmd_create)
+
+    p = commands.add_parser("ls", help="list sublogs of a log file")
+    p.add_argument("store")
+    p.add_argument("path", nargs="?", default="/")
+    p.set_defaults(handler=cmd_ls)
+
+    p = commands.add_parser("append", help="append one entry")
+    p.add_argument("store")
+    p.add_argument("path")
+    p.add_argument("data", nargs="?", default=None)
+    p.add_argument("--stdin", action="store_true")
+    p.add_argument(
+        "--lines",
+        action="store_true",
+        help="with --stdin: append each input line as its own entry",
+    )
+    p.set_defaults(handler=cmd_append)
+
+    p = commands.add_parser("cat", help="print a log file's entries")
+    p.add_argument("store")
+    p.add_argument("path")
+    p.add_argument("--reverse", action="store_true")
+    p.add_argument("--since-us", type=int, default=None)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--timestamps", action="store_true")
+    p.set_defaults(handler=cmd_cat)
+
+    p = commands.add_parser("info", help="store summary")
+    p.add_argument("store")
+    p.set_defaults(handler=cmd_info)
+
+    p = commands.add_parser("fsck", help="consistency check")
+    p.add_argument("store")
+    p.set_defaults(handler=cmd_fsck)
+
+    p = commands.add_parser("volumes", help="list the volume sequence")
+    p.add_argument("store")
+    p.set_defaults(handler=cmd_volumes)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

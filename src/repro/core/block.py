@@ -1,0 +1,273 @@
+"""The on-device block format (Figure 1).
+
+Entries are packed forward from the block header; an index of per-fragment
+sizes grows *backward* from the block trailer, so a block can be scanned
+"either forwards or backwards, to examine the log entries that it
+contains" (Section 2.1).  A 4-byte CRC32 trailer supplies the integrity
+check that Section 2.3.2's corruption handling assumes.
+
+Layout of a ``block_size``-byte block::
+
+    +--------------------+---------------------------+------+-----------+-----+
+    | header (10 bytes)  | fragment 0 | fragment 1 ..| free | s_n .. s_1 | CRC |
+    +--------------------+---------------------------+------+-----------+-----+
+
+Header fields: magic (1), flags (1), fragment count (2), continuation-in
+length (2), data length (2), reserved (2).  Flags: bit 0 = the first
+fragment continues an entry begun in an earlier block; bit 1 = the last
+fragment continues into the next block ("a log entry may also be
+fragmented over more than one block", Section 2.1 footnote 7).
+
+Fragment *i*'s size ``s_i`` is the 16-bit word at offset
+``block_size - 4 - 2*(i+1)`` — sizes run right-to-left exactly as in
+Figure 1.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["BlockFormatError", "ParsedBlock", "BlockBuilder", "BLOCK_OVERHEAD"]
+
+_MAGIC = 0xC1
+_FLAG_CONT_IN = 0x01
+_FLAG_CONT_OUT = 0x02
+_HEADER = struct.Struct(">BBHHHH")
+_HEADER_SIZE = _HEADER.size  # 10
+_CRC_SIZE = 4
+_INDEX_ENTRY_SIZE = 2
+#: Fixed per-block overhead (header + CRC trailer), excluding the index.
+BLOCK_OVERHEAD = _HEADER_SIZE + _CRC_SIZE
+
+#: Minimum usable block size: room for the fixed overhead, one index slot,
+#: and at least a maximal (14-byte) entry header.
+MIN_BLOCK_SIZE = BLOCK_OVERHEAD + _INDEX_ENTRY_SIZE + 14
+
+
+class BlockFormatError(ValueError):
+    """The block image does not parse (bad magic, CRC, or geometry)."""
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedBlock:
+    """A decoded block: its fragments plus continuation flags.
+
+    ``fragments[0]`` is the tail of an entry begun in an earlier block when
+    ``cont_in`` is set; the final fragment is the head of an entry finished
+    in a later block when ``cont_out`` is set.  Every other fragment is one
+    complete record.
+    """
+
+    cont_in: bool
+    cont_out: bool
+    fragments: tuple[bytes, ...]
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self.fragments)
+
+    def entry_start_slots(self) -> list[int]:
+        """Indices of fragments that *begin* an entry in this block."""
+        first = 1 if self.cont_in else 0
+        return list(range(first, len(self.fragments)))
+
+    def is_complete(self, slot: int) -> bool:
+        """True if the record starting at ``slot`` ends inside this block."""
+        return not (self.cont_out and slot == len(self.fragments) - 1)
+
+    @property
+    def is_pure_middle(self) -> bool:
+        """True when the whole block is the middle of one giant entry."""
+        return self.cont_in and self.cont_out and len(self.fragments) == 1
+
+
+def _payload_region(block_size: int) -> int:
+    return block_size - BLOCK_OVERHEAD
+
+
+def parse_block(data: bytes) -> ParsedBlock:
+    """Decode a block image, verifying magic and CRC."""
+    block_size = len(data)
+    if block_size < MIN_BLOCK_SIZE:
+        raise BlockFormatError(f"block of {block_size} bytes is too small")
+    magic, flags, count, cont_len, data_len, _reserved = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise BlockFormatError(f"bad block magic 0x{magic:02x}")
+    (stored_crc,) = struct.unpack_from(">I", data, block_size - _CRC_SIZE)
+    actual_crc = zlib.crc32(data[: block_size - _CRC_SIZE])
+    if stored_crc != actual_crc:
+        raise BlockFormatError(
+            f"CRC mismatch: stored 0x{stored_crc:08x}, computed 0x{actual_crc:08x}"
+        )
+    max_payload = _payload_region(block_size) - _INDEX_ENTRY_SIZE * count
+    if data_len > max_payload or count * _INDEX_ENTRY_SIZE > _payload_region(block_size):
+        raise BlockFormatError("block geometry inconsistent (data overlaps index)")
+
+    sizes = []
+    for i in range(count):
+        offset = block_size - _CRC_SIZE - _INDEX_ENTRY_SIZE * (i + 1)
+        (size,) = struct.unpack_from(">H", data, offset)
+        sizes.append(size)
+    if sum(sizes) != data_len:
+        raise BlockFormatError(
+            f"size index sums to {sum(sizes)} but data length is {data_len}"
+        )
+    cont_in = bool(flags & _FLAG_CONT_IN)
+    cont_out = bool(flags & _FLAG_CONT_OUT)
+    if cont_in:
+        if count == 0 or sizes[0] != cont_len:
+            raise BlockFormatError("continuation-in length disagrees with index")
+    elif cont_len != 0:
+        raise BlockFormatError("continuation length set without the flag")
+
+    fragments = []
+    position = _HEADER_SIZE
+    for size in sizes:
+        fragments.append(bytes(data[position : position + size]))
+        position += size
+    return ParsedBlock(cont_in=cont_in, cont_out=cont_out, fragments=tuple(fragments))
+
+
+class BlockBuilder:
+    """Incrementally packs records into one block image.
+
+    The writer owns exactly one builder (the tail block).  Records are
+    appended with :meth:`add_record` / :meth:`add_continuation`; when the
+    block cannot accept more, the writer encodes it, burns it to the
+    device, and opens a fresh builder.
+
+    A *new* record is only started if its full header fits, so the header
+    of every entry is always parseable from the entry's first block (the
+    time-search in Section 2.1 depends on reading the first entry's
+    timestamp from a block in isolation).
+    """
+
+    def __init__(self, block_size: int, cont_in: bool = False):
+        if block_size < MIN_BLOCK_SIZE:
+            raise ValueError(
+                f"block_size must be at least {MIN_BLOCK_SIZE}, got {block_size}"
+            )
+        if block_size > 0xFFFF:
+            raise ValueError("block_size must fit the 16-bit size index")
+        self.block_size = block_size
+        self.cont_in = cont_in
+        self.cont_out = False
+        self._fragments: list[bytes] = []
+        self._data_len = 0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self._fragments)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._fragments
+
+    @property
+    def free_bytes(self) -> int:
+        """Payload bytes available if one more fragment is added."""
+        return (
+            _payload_region(self.block_size)
+            - self._data_len
+            - _INDEX_ENTRY_SIZE * (len(self._fragments) + 1)
+        )
+
+    def fits_whole(self, record_size: int) -> bool:
+        return record_size <= self.free_bytes
+
+    # -- filling ------------------------------------------------------------
+
+    def add_record(self, record: bytes, header_size: int) -> int:
+        """Start a new record in this block; returns bytes consumed (0..len).
+
+        Returns 0 when not even the record's header fits — the caller must
+        flush the block and retry in a fresh one.  If only part of the
+        record fits, the block is marked continuing-out and the caller
+        carries the remainder into the next block.
+        """
+        if self.cont_out:
+            raise RuntimeError("block already ends with a continuing fragment")
+        if header_size > len(record):
+            raise ValueError("header_size exceeds record length")
+        free = self.free_bytes
+        if free < header_size:
+            return 0
+        take = min(free, len(record))
+        self._fragments.append(record[:take])
+        self._data_len += take
+        if take < len(record):
+            self.cont_out = True
+        return take
+
+    def add_continuation(self, remainder: bytes) -> int:
+        """Continue an entry from the previous block; returns bytes consumed.
+
+        Must be the first fragment of the block (``cont_in`` builders only).
+        """
+        if not self.cont_in or self._fragments:
+            raise RuntimeError(
+                "continuation fragment must be the first fragment of a "
+                "continuation block"
+            )
+        if not remainder:
+            raise ValueError("continuation remainder must be non-empty")
+        free = self.free_bytes
+        take = min(free, len(remainder))
+        self._fragments.append(remainder[:take])
+        self._data_len += take
+        if take < len(remainder):
+            self.cont_out = True
+        return take
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Produce the full block image (free space zero-filled, CRC set)."""
+        flags = 0
+        cont_len = 0
+        if self.cont_in:
+            if not self._fragments:
+                raise RuntimeError("continuation block encoded with no fragments")
+            flags |= _FLAG_CONT_IN
+            cont_len = len(self._fragments[0])
+        if self.cont_out:
+            flags |= _FLAG_CONT_OUT
+        header = _HEADER.pack(
+            _MAGIC, flags, len(self._fragments), cont_len, self._data_len, 0
+        )
+        body = b"".join(self._fragments)
+        index = b"".join(
+            struct.pack(">H", len(fragment))
+            for fragment in reversed(self._fragments)
+        )
+        gap = (
+            self.block_size
+            - _HEADER_SIZE
+            - len(body)
+            - len(index)
+            - _CRC_SIZE
+        )
+        if gap < 0:
+            raise RuntimeError("block overfilled — builder accounting bug")
+        image_wo_crc = header + body + b"\x00" * gap + index
+        crc = zlib.crc32(image_wo_crc)
+        return image_wo_crc + struct.pack(">I", crc)
+
+    @classmethod
+    def from_image(cls, data: bytes) -> "BlockBuilder":
+        """Reconstruct a builder from a partial block image.
+
+        Used on recovery to resume filling the tail block staged in NVRAM
+        (Section 2.3.1).  The image must parse; its fragments become the
+        builder's current contents.
+        """
+        parsed = parse_block(data)
+        builder = cls(block_size=len(data), cont_in=parsed.cont_in)
+        builder._fragments = list(parsed.fragments)
+        builder._data_len = sum(len(f) for f in parsed.fragments)
+        builder.cont_out = parsed.cont_out
+        return builder

@@ -1,0 +1,162 @@
+"""Log entries and their headers.
+
+Section 2.2: the header is kept minimal because any attribute of the log
+file *as a whole* lives in the catalog log file instead.  The 4-bit
+``header-version`` field "indicates the form of log entry header that is
+being used", which we exploit to define three forms:
+
+====================  ======  =========================================
+form                  bytes   fields
+====================  ======  =========================================
+``MINIMAL``              2    version:4, logfile-id:12
+``TIMESTAMPED``         10    + timestamp:64 (µs)
+``FULL``                14    + client sequence number:32
+====================  ======  =========================================
+
+The entry *size* is not part of the header: it is stored in the index at
+the end of each disk block (Figure 1), so ``MINIMAL`` costs the paper's
+4 bytes per entry (2 header + 2 index) and ``FULL`` is exactly the
+"complete, 14-byte log entry header that included a (64-bit) timestamp"
+used in the Section 3.2 measurements.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.core.ids import validate_logfile_id
+
+__all__ = ["HeaderForm", "LogEntry", "DecodedRecord", "decode_record", "CorruptRecord"]
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+
+class HeaderForm(enum.IntEnum):
+    """Values of the 4-bit header-version field."""
+
+    MINIMAL = 1
+    TIMESTAMPED = 2
+    FULL = 3
+
+    @property
+    def header_size(self) -> int:
+        return _HEADER_SIZES[self]
+
+
+_HEADER_SIZES = {
+    HeaderForm.MINIMAL: 2,
+    HeaderForm.TIMESTAMPED: 10,
+    HeaderForm.FULL: 14,
+}
+
+
+class CorruptRecord(ValueError):
+    """A record's header could not be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class LogEntry:
+    """A client log entry: the unit written to and read from a log file.
+
+    ``timestamp`` is the server-assigned receive time (µs); ``client_seq``
+    is the optional client-generated sequence number for asynchronous
+    identification.  The header form is derived from which fields are
+    present, except that a caller may force a timestamped form (the writer
+    does this for the first entry of every block).
+    """
+
+    logfile_id: int
+    data: bytes
+    timestamp: int | None = None
+    client_seq: int | None = None
+
+    def __post_init__(self):
+        validate_logfile_id(self.logfile_id)
+        if self.client_seq is not None and self.timestamp is None:
+            raise ValueError(
+                "an entry with a client sequence number must be timestamped "
+                "(the FULL header form contains both fields)"
+            )
+        if self.timestamp is not None and not 0 <= self.timestamp < 1 << 64:
+            raise ValueError("timestamp must fit in 64 bits")
+        if self.client_seq is not None and not 0 <= self.client_seq < 1 << 32:
+            raise ValueError("client sequence number must fit in 32 bits")
+
+    @property
+    def form(self) -> HeaderForm:
+        if self.client_seq is not None:
+            return HeaderForm.FULL
+        if self.timestamp is not None:
+            return HeaderForm.TIMESTAMPED
+        return HeaderForm.MINIMAL
+
+    @property
+    def header_size(self) -> int:
+        return self.form.header_size
+
+    @property
+    def record_size(self) -> int:
+        """Total on-device bytes for this entry (header + client data)."""
+        return self.header_size + len(self.data)
+
+    def encode(self) -> bytes:
+        """Serialize header + data into the record written to the block."""
+        form = self.form
+        first = (form.value << 12) | self.logfile_id
+        parts = [_U16.pack(first)]
+        if form is not HeaderForm.MINIMAL:
+            parts.append(_U64.pack(self.timestamp))
+        if form is HeaderForm.FULL:
+            parts.append(_U32.pack(self.client_seq))
+        parts.append(self.data)
+        return b"".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class DecodedRecord:
+    """A record parsed back out of a block: the entry plus its raw size."""
+
+    entry: LogEntry
+    record_size: int
+
+
+def decode_record(record: bytes) -> DecodedRecord:
+    """Parse one complete (reassembled, if fragmented) record.
+
+    Raises :class:`CorruptRecord` if the header-version nibble is not a
+    known form or the record is shorter than its header.
+    """
+    if len(record) < 2:
+        raise CorruptRecord(f"record of {len(record)} bytes has no header")
+    (first,) = _U16.unpack_from(record, 0)
+    version = first >> 12
+    logfile_id = first & 0x0FFF
+    try:
+        form = HeaderForm(version)
+    except ValueError:
+        raise CorruptRecord(f"unknown header-version {version}") from None
+    if len(record) < form.header_size:
+        raise CorruptRecord(
+            f"record of {len(record)} bytes shorter than its "
+            f"{form.header_size}-byte {form.name} header"
+        )
+    timestamp = None
+    client_seq = None
+    offset = 2
+    if form is not HeaderForm.MINIMAL:
+        (timestamp,) = _U64.unpack_from(record, offset)
+        offset += 8
+    if form is HeaderForm.FULL:
+        (client_seq,) = _U32.unpack_from(record, offset)
+        offset += 4
+    entry = LogEntry(
+        logfile_id=logfile_id,
+        data=record[offset:],
+        timestamp=timestamp,
+        client_seq=client_seq,
+    )
+    return DecodedRecord(entry=entry, record_size=len(record))

@@ -1,0 +1,64 @@
+"""Hierarchical log file names.
+
+Section 2.1: *"the sublog concept allows the familiar file naming hierarchy
+to be used in a natural way.  For example, if '/' denotes the volume
+sequence log file, and 'mail' denotes a log of mail messages delivered to a
+system, then '/mail/smith' may denote a log of mail messages delivered to
+user 'smith'.  Note that each such name represents not only a log file, but
+also a directory of (zero or more) sublogs."*
+
+Paths are absolute, ``/``-separated, rooted at the volume sequence log
+file.  This module holds the pure path algebra; resolution against the
+catalog lives in :mod:`repro.core.catalog`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["InvalidName", "split_path", "join_path", "validate_component", "parent_path"]
+
+_MAX_COMPONENT = 255
+
+
+class InvalidName(ValueError):
+    """A path or name component is malformed."""
+
+
+def validate_component(name: str) -> str:
+    """Check one path component (a log file's own name)."""
+    if not name:
+        raise InvalidName("name component must be non-empty")
+    if "/" in name:
+        raise InvalidName(f"name component {name!r} must not contain '/'")
+    if name in (".", ".."):
+        raise InvalidName(f"name component {name!r} is reserved")
+    if len(name) > _MAX_COMPONENT:
+        raise InvalidName(f"name component longer than {_MAX_COMPONENT} bytes")
+    if any(ch in name for ch in "\x00\n"):
+        raise InvalidName("name component contains control characters")
+    return name
+
+
+def split_path(path: str) -> list[str]:
+    """Split an absolute path into validated components.
+
+    ``"/"`` (the volume sequence log file) splits to the empty list.
+    """
+    if not path.startswith("/"):
+        raise InvalidName(f"path {path!r} must be absolute (start with '/')")
+    stripped = path.strip("/")
+    if not stripped:
+        return []
+    return [validate_component(component) for component in stripped.split("/")]
+
+
+def join_path(components: list[str]) -> str:
+    """Inverse of :func:`split_path`."""
+    return "/" + "/".join(components)
+
+
+def parent_path(path: str) -> str:
+    """The path one level up; the root is its own parent."""
+    components = split_path(path)
+    if not components:
+        return "/"
+    return join_path(components[:-1])

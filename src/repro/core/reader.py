@@ -1,0 +1,504 @@
+"""The read path: block access, entry assembly, and entrymap-driven iteration.
+
+Reading a log entry has the three steps of Section 3.3: (1) locate the
+block containing the entry (entrymap tree search), (2) read that block
+(cache or device), and (3) locate the entry within the block (scan the
+Figure-1 index).  Every step is instrumented: Table 1's columns — entrymap
+entries examined, block accesses, elapsed (simulated) time — all come from
+the counters maintained here.
+
+The reader is also where the robustness policies live: corrupt blocks are
+reported (the service invalidates them and records never-written corrupt
+blocks in the corrupted-block log file), missing entrymap entries trigger
+the relocation-window scan and lower-level fallback, and an entry whose
+continuation chain is missing (crash mid-write without a forced tail)
+surfaces as :class:`TornEntryError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.block import BlockFormatError, ParsedBlock, parse_block
+from repro.core.entry import CorruptRecord, LogEntry, decode_record
+from repro.core.entrymap import (
+    EntrymapRecord,
+    EntrymapSearch,
+    SearchStats,
+)
+from repro.core.ids import ENTRYMAP_ID, EntryLocation
+from repro.core.store import LogStore
+from repro.worm.errors import (
+    InvalidatedBlockError,
+    UnwrittenBlockError,
+    VolumeOfflineError,
+)
+
+__all__ = ["LogReader", "ReadStats", "TornEntryError", "ReadEntry"]
+
+
+class TornEntryError(Exception):
+    """An entry's continuation chain is incomplete on the device.
+
+    Happens when a crash lost the unforced tail holding the final
+    fragment(s) of a fragmented entry; the entry is unreadable and is
+    skipped by iteration (prefix durability covers whole entries only).
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class ReadEntry:
+    """One entry as returned to a reading client."""
+
+    location: EntryLocation
+    entry: LogEntry
+
+    @property
+    def data(self) -> bytes:
+        return self.entry.data
+
+    @property
+    def timestamp(self) -> int | None:
+        return self.entry.timestamp
+
+    @property
+    def logfile_id(self) -> int:
+        return self.entry.logfile_id
+
+
+@dataclass(slots=True)
+class ReadStats:
+    """Cumulative read-side instrumentation."""
+
+    block_accesses: int = 0
+    device_reads: int = 0
+    corrupt_blocks_found: int = 0
+    torn_entries_skipped: int = 0
+    search: SearchStats = field(default_factory=SearchStats)
+
+    def snapshot(self) -> "ReadStats":
+        return ReadStats(
+            block_accesses=self.block_accesses,
+            device_reads=self.device_reads,
+            corrupt_blocks_found=self.corrupt_blocks_found,
+            torn_entries_skipped=self.torn_entries_skipped,
+            search=SearchStats(
+                entrymap_entries_examined=self.search.entrymap_entries_examined,
+                accumulator_examinations=self.search.accumulator_examinations,
+                fallback_blocks_scanned=self.search.fallback_blocks_scanned,
+            ),
+        )
+
+    def delta(self, earlier: "ReadStats") -> "ReadStats":
+        return ReadStats(
+            block_accesses=self.block_accesses - earlier.block_accesses,
+            device_reads=self.device_reads - earlier.device_reads,
+            corrupt_blocks_found=self.corrupt_blocks_found
+            - earlier.corrupt_blocks_found,
+            torn_entries_skipped=self.torn_entries_skipped
+            - earlier.torn_entries_skipped,
+            search=SearchStats(
+                entrymap_entries_examined=self.search.entrymap_entries_examined
+                - earlier.search.entrymap_entries_examined,
+                accumulator_examinations=self.search.accumulator_examinations
+                - earlier.search.accumulator_examinations,
+                fallback_blocks_scanned=self.search.fallback_blocks_scanned
+                - earlier.search.fallback_blocks_scanned,
+            ),
+        )
+
+
+class LogReader:
+    """Instrumented read-side of the log service.
+
+    ``written_limit`` callbacks tell the reader how far each volume is
+    written; for the active volume that includes the in-progress tail
+    block, which the writer keeps pinned in the shared cache.
+    """
+
+    def __init__(
+        self,
+        store: LogStore,
+        tail_position: Callable[[], tuple[int, int]],
+        on_corrupt: Callable[[int, int], None] | None = None,
+        tail_image: Callable[[], bytes | None] | None = None,
+        on_volume_demand: Callable[[int], bool] | None = None,
+    ):
+        self.store = store
+        #: () -> (active_volume_index, tail_block_addr); tail_block_addr is
+        #: the local address one past the last *readable* block, i.e. the
+        #: in-progress block itself (or -1 when none is open).
+        self._tail_position = tail_position
+        self._on_corrupt = on_corrupt
+        #: () -> current encoded image of the in-progress tail block.  The
+        #: tail block exists only in the writer's memory (and NVRAM) until
+        #: it is burned, so if the cache drops it, reads regenerate it here.
+        self._tail_image = tail_image
+        #: (volume_index) -> bool: try to bring an offline volume back
+        #: online (Section 2.1's "made available on demand, automatically").
+        self._on_volume_demand = on_volume_demand
+        self.stats = ReadStats()
+
+    # -- geometry ------------------------------------------------------------
+
+    def volume_extent(self, volume_index: int) -> int:
+        """Number of readable data blocks in a volume (tail included)."""
+        active_volume, tail_addr = self._tail_position()
+        volume = self.store.sequence.volumes[volume_index]
+        burned = max(0, volume.next_data_block)
+        if volume_index == active_volume and tail_addr >= burned:
+            return tail_addr + 1
+        return burned
+
+    def global_extent(self) -> int:
+        """Total readable blocks across the sequence."""
+        last = len(self.store.sequence.volumes) - 1
+        return self.store.sequence.volume_base(last) + self.volume_extent(last)
+
+    # -- raw block access -------------------------------------------------------
+
+    def read_parsed(self, volume_index: int, local_block: int) -> ParsedBlock | None:
+        """Read and parse one block via the cache; None if the block is
+        unwritten, invalidated, or corrupt (corruption is reported)."""
+        if local_block < 0 or local_block >= self.volume_extent(volume_index):
+            return None
+        key = self.store.cache_key(volume_index, local_block)
+        volume = self.store.sequence.volumes[volume_index]
+
+        def loader() -> bytes:
+            active_volume, tail_addr = self._tail_position()
+            if (
+                self._tail_image is not None
+                and volume_index == active_volume
+                and local_block == tail_addr
+            ):
+                image = self._tail_image()
+                if image is not None:
+                    return image
+            busy_before = volume.device.stats.busy_ms
+            data = volume.read_data_block(local_block)
+            self.stats.device_reads += 1
+            self.store.clock.advance_ms(volume.device.stats.busy_ms - busy_before)
+            return data
+
+        try:
+            data = self.store.cache.get(key, loader)
+        except (UnwrittenBlockError, InvalidatedBlockError):
+            return None
+        except VolumeOfflineError:
+            if self._on_volume_demand is not None and self._on_volume_demand(
+                volume_index
+            ):
+                data = self.store.cache.get(key, loader)
+            else:
+                raise
+        self.stats.block_accesses += 1
+        self.store.clock.advance_ms(self.store.costs.cached_block_ms)
+        try:
+            return parse_block(data)
+        except BlockFormatError:
+            self.stats.corrupt_blocks_found += 1
+            self.store.cache.invalidate(key)
+            if self._on_corrupt is not None:
+                self._on_corrupt(volume_index, local_block)
+            return None
+
+    def read_parsed_global(self, global_block: int) -> ParsedBlock | None:
+        volume_index, local = self.store.sequence.to_local(global_block)
+        return self.read_parsed(volume_index, local)
+
+    # -- entry assembly ------------------------------------------------------------
+
+    def entry_at(self, location: EntryLocation) -> LogEntry:
+        """Read the (possibly fragmented) entry starting at ``location``."""
+        parsed = self.read_parsed_global(location.global_block)
+        if parsed is None:
+            raise TornEntryError(f"block {location.global_block} unreadable")
+        starts = parsed.entry_start_slots()
+        if location.slot not in starts:
+            raise TornEntryError(
+                f"no entry starts at slot {location.slot} of block "
+                f"{location.global_block}"
+            )
+        record = parsed.fragments[location.slot]
+        complete = parsed.is_complete(location.slot)
+        next_block = location.global_block + 1
+        while not complete:
+            tail_parsed = self.read_parsed_global(next_block)
+            if tail_parsed is None or not tail_parsed.cont_in:
+                raise TornEntryError(
+                    f"entry at block {location.global_block} slot "
+                    f"{location.slot} is missing its continuation in block "
+                    f"{next_block}"
+                )
+            record += tail_parsed.fragments[0]
+            complete = not (tail_parsed.cont_out and tail_parsed.fragment_count == 1)
+            next_block += 1
+        try:
+            return decode_record(record).entry
+        except CorruptRecord as exc:
+            raise TornEntryError(str(exc)) from exc
+
+    def entry_header_at(
+        self, parsed: ParsedBlock, slot: int
+    ) -> LogEntry | None:
+        """Decode just the header of the record starting at ``slot``.
+
+        Works even for incomplete fragments (the writer guarantees the full
+        header fits in the first fragment).  Returns None if undecodable.
+        """
+        fragment = parsed.fragments[slot]
+        try:
+            if parsed.is_complete(slot):
+                return decode_record(fragment).entry
+            # Incomplete: decode header fields only by padding a copy.
+            return decode_record(fragment).entry
+        except CorruptRecord:
+            return None
+
+    # -- membership ------------------------------------------------------------------
+
+    def block_members(self, volume_index: int, local_block: int) -> frozenset[int] | None:
+        """All log file ids (ancestors included) with fragments in a block.
+
+        This is the reader-side equivalent of what the writer fed into
+        ``EntrymapState.note_membership`` — used by recovery and by the
+        entrymap search's direct-scan fallback.
+        """
+        parsed = self.read_parsed(volume_index, local_block)
+        if parsed is None:
+            return None
+        members: set[int] = set()
+        catalog = self.store.catalog
+        for slot in parsed.entry_start_slots():
+            header = self.entry_header_at(parsed, slot)
+            if header is None:
+                continue
+            members.update(self._tracked_ancestors(header.logfile_id))
+        if parsed.cont_in:
+            owner = self._continuation_owner(volume_index, local_block)
+            if owner is not None:
+                members.update(self._tracked_ancestors(owner))
+        return frozenset(members)
+
+    def _tracked_ancestors(self, logfile_id: int) -> list[int]:
+        from repro.core.entrymap import UNTRACKED_IDS
+
+        try:
+            chain = self.store.catalog.ancestors(logfile_id)
+        except Exception:
+            chain = [logfile_id]
+        return [a for a in chain if a not in UNTRACKED_IDS]
+
+    def _continuation_owner(self, volume_index: int, local_block: int) -> int | None:
+        """The logfile id of the entry whose fragment opens this block."""
+        global_block = self.store.sequence.to_global(volume_index, local_block)
+        probe = global_block - 1
+        while probe >= 0:
+            parsed = self.read_parsed_global(probe)
+            if parsed is None:
+                return None
+            starts = parsed.entry_start_slots()
+            if starts:
+                header = self.entry_header_at(parsed, starts[-1])
+                return header.logfile_id if header else None
+            if not parsed.cont_in:
+                return None
+            probe -= 1
+        return None
+
+    # -- entrymap search plumbing -------------------------------------------------------
+
+    def _fetch_entrymap(
+        self, volume_index: int, level: int, boundary: int
+    ) -> EntrymapRecord | None:
+        """Find the written entrymap record for (level, boundary).
+
+        The record's well-known home is block ``boundary``; if that block
+        was invalidated the writer will have placed it "in the next
+        uncorrupted block, if such a block is nearby" (Section 2.3.2) — so
+        scan a bounded relocation window before giving up.
+        """
+        window = self.store.config.entrymap_relocation_window
+        span = self.store.states[volume_index].degree ** level
+        extent = self.volume_extent(volume_index)
+        for local in range(boundary, min(boundary + window, extent)):
+            parsed = self.read_parsed(volume_index, local)
+            if parsed is None:
+                continue
+            for slot in parsed.entry_start_slots():
+                header = self.entry_header_at(parsed, slot)
+                if header is None or header.logfile_id != ENTRYMAP_ID:
+                    continue
+                try:
+                    if parsed.is_complete(slot):
+                        # Decode in place — no extra block access.
+                        record = EntrymapRecord.decode(header.data)
+                    else:
+                        location = EntryLocation(
+                            global_block=self.store.sequence.to_global(
+                                volume_index, local
+                            ),
+                            slot=slot,
+                        )
+                        record = EntrymapRecord.decode(self.entry_at(location).data)
+                except (TornEntryError, ValueError):
+                    continue
+                if record.level == level and record.cover_start == boundary - span:
+                    return record
+        return None
+
+    def volume_search(self, volume_index: int) -> EntrymapSearch:
+        state = self.store.states[volume_index]
+        return EntrymapSearch(
+            state,
+            fetch=lambda level, boundary: self._fetch_entrymap(
+                volume_index, level, boundary
+            ),
+            scan=lambda block: self.block_members(volume_index, block),
+        )
+
+    # -- cross-volume locate ---------------------------------------------------------------
+
+    def locate_prev_global(self, logfile_id: int, before_global: int) -> int | None:
+        """Greatest readable global block < ``before_global`` with entries
+        of ``logfile_id`` (descending through predecessor volumes)."""
+        sequence = self.store.sequence
+        if before_global <= 0:
+            return None
+        before_global = min(before_global, self.global_extent())
+        if logfile_id == 0:
+            # The volume sequence log file has entries in every block; no
+            # entrymap bitmaps are kept for it (Section 2.1, footnote 6).
+            return before_global - 1 if before_global > 0 else None
+        volume_index, local = sequence.to_local(before_global - 1)
+        local_before = local + 1
+        while volume_index >= 0:
+            found = self.volume_search(volume_index).locate_prev(
+                logfile_id, local_before, self.stats.search
+            )
+            if found is not None:
+                return sequence.to_global(volume_index, found)
+            volume_index -= 1
+            if volume_index >= 0:
+                local_before = self.volume_extent(volume_index)
+        return None
+
+    def locate_next_global(self, logfile_id: int, start_global: int) -> int | None:
+        """Smallest readable global block >= ``start_global`` with entries
+        of ``logfile_id`` (ascending through successor volumes)."""
+        sequence = self.store.sequence
+        extent = self.global_extent()
+        if start_global >= extent:
+            return None
+        start_global = max(0, start_global)
+        if logfile_id == 0:
+            # Every block belongs to the volume sequence log file.
+            return start_global
+        volume_index, local = sequence.to_local(start_global)
+        while volume_index < len(sequence.volumes):
+            limit = self.volume_extent(volume_index)
+            found = self.volume_search(volume_index).locate_next(
+                logfile_id, local, limit, self.stats.search
+            )
+            if found is not None:
+                return sequence.to_global(volume_index, found)
+            volume_index += 1
+            local = 0
+        return None
+
+    # -- filtered iteration --------------------------------------------------------------------
+
+    def _belongs(self, entry_logfile_id: int, wanted: int) -> bool:
+        """Sublog membership: the entry belongs to ``wanted`` if wanted is
+        the entry's log file or one of its ancestors (Section 2.1)."""
+        if entry_logfile_id == wanted:
+            return True
+        if wanted == 0:
+            # "The entire sequence of log entries that have been written to
+            # a volume can also be considered a log file" (Section 2).
+            return True
+        try:
+            return wanted in self.store.catalog.ancestors(entry_logfile_id)
+        except Exception:
+            return False
+
+    def iter_entries(
+        self,
+        logfile_id: int,
+        start_global: int = 0,
+        start_slot: int = 0,
+        reverse: bool = False,
+    ) -> Iterator[ReadEntry]:
+        """Yield entries of ``logfile_id`` (and its sublogs) in log order.
+
+        ``start_global``/``start_slot`` give the first position considered;
+        with ``reverse=True`` iteration runs backward from that position
+        (inclusive).  Torn entries at the log tail are skipped and counted.
+        """
+        if reverse:
+            yield from self._iter_reverse(logfile_id, start_global, start_slot)
+        else:
+            yield from self._iter_forward(logfile_id, start_global, start_slot)
+
+    def _block_matches(
+        self, global_block: int, logfile_id: int
+    ) -> list[tuple[int, LogEntry]]:
+        parsed = self.read_parsed_global(global_block)
+        if parsed is None:
+            return []
+        matches = []
+        for slot in parsed.entry_start_slots():
+            header = self.entry_header_at(parsed, slot)
+            if header is None or not self._belongs(header.logfile_id, logfile_id):
+                continue
+            matches.append((slot, header))
+        return matches
+
+    def _iter_forward(
+        self, logfile_id: int, start_global: int, start_slot: int
+    ) -> Iterator[ReadEntry]:
+        current = self.locate_next_global(logfile_id, start_global)
+        first = True
+        while current is not None:
+            for slot, _header in self._block_matches(current, logfile_id):
+                if first and current == start_global and slot < start_slot:
+                    continue
+                location = EntryLocation(global_block=current, slot=slot)
+                try:
+                    entry = self.entry_at(location)
+                except TornEntryError:
+                    self.stats.torn_entries_skipped += 1
+                    continue
+                yield ReadEntry(location=location, entry=entry)
+            first = False
+            current = self.locate_next_global(logfile_id, current + 1)
+
+    def _iter_reverse(
+        self, logfile_id: int, start_global: int, start_slot: int
+    ) -> Iterator[ReadEntry]:
+        extent = self.global_extent()
+        start_global = min(start_global, extent - 1)
+        if start_global < 0:
+            return
+        current: int | None = start_global
+        if self._block_matches(start_global, logfile_id):
+            pass
+        else:
+            current = self.locate_prev_global(logfile_id, start_global)
+        first = True
+        while current is not None:
+            matches = self._block_matches(current, logfile_id)
+            for slot, _header in reversed(matches):
+                if first and current == start_global and slot > start_slot:
+                    continue
+                location = EntryLocation(global_block=current, slot=slot)
+                try:
+                    entry = self.entry_at(location)
+                except TornEntryError:
+                    self.stats.torn_entries_skipped += 1
+                    continue
+                yield ReadEntry(location=location, entry=entry)
+            first = False
+            current = self.locate_prev_global(logfile_id, current)

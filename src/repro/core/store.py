@@ -1,0 +1,126 @@
+"""Shared server state: the pieces the writer, reader, and recovery share.
+
+The paper's log service is "implemented as an extension of a conventional
+disk-based file server ... able to use much of the existing mechanism of
+the file server, such as the buffer pool".  :class:`LogStore` is that
+shared mechanism: the volume sequence, the block cache, the simulated
+clock/cost model, the catalog, and the per-volume entrymap states.
+:class:`repro.core.writer.TailWriter` and :class:`repro.core.reader.LogReader`
+both operate on one store; :class:`repro.core.service.LogService` owns it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cache import BlockCache
+from repro.core.catalog import Catalog
+from repro.core.entrymap import EntrymapState
+from repro.vsystem.clock import SimClock
+from repro.vsystem.costs import CostModel
+from repro.worm.device import WormDevice
+from repro.worm.geometry import NULL_GEOMETRY, DeviceGeometry
+from repro.worm.nvram import NvramTail
+from repro.worm.volume import VolumeSequence
+
+__all__ = ["LogStore", "SpaceStats", "StoreConfig"]
+
+
+@dataclass(slots=True)
+class SpaceStats:
+    """Cumulative space accounting (Section 3.5's quantities).
+
+    All figures are bytes except ``blocks_written``.  ``client_data`` is
+    the d of the overhead formula; ``entry_headers`` is h summed over
+    entries; ``size_index`` is the per-fragment index slots (2 bytes each);
+    ``entrymap`` and ``catalog`` are the reserved log files' record bytes
+    (headers included); ``forced_padding`` is space wasted by forcing
+    partial blocks onto pure write-once media.
+    """
+
+    client_data: int = 0
+    entry_headers: int = 0
+    size_index: int = 0
+    entrymap: int = 0
+    catalog: int = 0
+    forced_padding: int = 0
+    blocks_written: int = 0
+    client_entries: int = 0
+
+    @property
+    def total_overhead(self) -> int:
+        return (
+            self.entry_headers
+            + self.size_index
+            + self.entrymap
+            + self.catalog
+            + self.forced_padding
+        )
+
+    def overhead_per_client_entry(self) -> float:
+        if self.client_entries == 0:
+            return 0.0
+        return self.total_overhead / self.client_entries
+
+    def entrymap_overhead_per_client_entry(self) -> float:
+        if self.client_entries == 0:
+            return 0.0
+        return self.entrymap / self.client_entries
+
+
+@dataclass(frozen=True, slots=True)
+class StoreConfig:
+    """Immutable service configuration."""
+
+    block_size: int = 1024
+    degree_n: int = 16
+    volume_capacity_blocks: int = 4096
+    cache_capacity_blocks: int = 2048
+    geometry: DeviceGeometry = NULL_GEOMETRY
+    supports_tail_query: bool = True
+    #: True: stage the tail block in battery-backed RAM (the design point).
+    #: False: pure write-once device — every force burns a partial block.
+    nvram_tail: bool = True
+    nvram_survives_crash: bool = True
+    #: How far past a well-known position the reader searches for a
+    #: relocated entrymap entry before falling back (Section 2.3.2).
+    entrymap_relocation_window: int = 4
+    #: Clients on other workstations pay network IPC (2.5-3 ms) instead of
+    #: local IPC (0.5-1 ms) per operation (Section 3.2, footnote 9).
+    remote_clients: bool = False
+    #: Enforce the catalog's per-log-file access permissions (owner bits:
+    #: 0o400 read, 0o200 append) on client operations.
+    enforce_permissions: bool = False
+
+
+@dataclass(slots=True)
+class LogStore:
+    """All shared server state for one mounted volume sequence."""
+
+    config: StoreConfig
+    clock: SimClock
+    costs: CostModel
+    sequence: VolumeSequence
+    cache: BlockCache
+    catalog: Catalog
+    #: One entrymap state per volume, indexed like ``sequence.volumes``.
+    states: list[EntrymapState] = field(default_factory=list)
+    nvram: NvramTail | None = None
+    space: SpaceStats = field(default_factory=SpaceStats)
+    #: Called to supply a fresh medium when the active volume fills.
+    device_factory: Callable[[], WormDevice] | None = None
+
+    def make_device(self) -> WormDevice:
+        """Create a fresh write-once medium per the configuration."""
+        if self.device_factory is not None:
+            return self.device_factory()
+        return WormDevice(
+            block_size=self.config.block_size,
+            capacity_blocks=self.config.volume_capacity_blocks,
+            geometry=self.config.geometry,
+            supports_tail_query=self.config.supports_tail_query,
+        )
+
+    def cache_key(self, volume_index: int, local_block: int) -> tuple:
+        return ("log", volume_index, local_block)

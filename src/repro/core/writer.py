@@ -1,0 +1,400 @@
+"""The tail writer: Clio's append path.
+
+"Write operations are performed only at the end of the written data — a
+disk location that is known at all times" (Section 2.1).  The writer owns
+the single in-progress *tail block* and is responsible for:
+
+* packing entry records into blocks (fragmenting entries that do not fit,
+  Section 2.1 footnote 7);
+* forcing the first entry of every block to carry a timestamp (the time
+  search relies on it);
+* emitting entrymap log entries at their well-known positions when a block
+  opens on a level boundary (Section 2.1), folding accumulators upward;
+* staging the tail block in battery-backed RAM on forced writes, or — on a
+  pure write-once device — burning the partial block and eating the
+  internal fragmentation (Section 2.3.1 discusses exactly this trade-off);
+* loading a successor volume when the active one fills (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.block import BlockBuilder
+from repro.core.catalog import CatalogRecord
+from repro.core.entry import LogEntry
+from repro.core.entrymap import UNTRACKED_IDS, EntrymapState
+from repro.core.ids import CATALOG_ID, ENTRYMAP_ID, EntryId, EntryLocation
+from repro.core.store import LogStore
+from repro.worm.errors import CorruptBlockError
+from repro.worm.volume import LogVolume
+
+__all__ = ["TailWriter", "AppendResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class AppendResult:
+    """What a client learns from a write operation."""
+
+    location: EntryLocation
+    timestamp: int | None
+
+    @property
+    def entry_id(self) -> EntryId | None:
+        """The unique identifier a synchronous writer obtains (Section 2.1)."""
+        if self.timestamp is None:
+            return None
+        return EntryId(self.timestamp)
+
+
+class TailWriter:
+    """Owns the tail block of the active volume and all append machinery."""
+
+    def __init__(self, store: LogStore):
+        self.store = store
+        self._builder: BlockBuilder | None = None
+        self._volume_index = len(store.sequence.volumes) - 1
+        self._block_addr = -1
+        self._block_has_entry_start = False
+        self._carry_tracked_ids: frozenset[int] = frozenset()
+        self._pending_corrupt_reports: list[tuple[int, int]] = []
+        self._draining = False
+
+    # -- introspection (used by the reader for tail visibility) ------------
+
+    @property
+    def volume_index(self) -> int:
+        return self._volume_index
+
+    @property
+    def tail_block_addr(self) -> int:
+        """Local address of the in-progress tail block (-1 before first append)."""
+        return self._block_addr
+
+    @property
+    def tail_global_block(self) -> int:
+        if self._block_addr < 0:
+            return self.store.sequence.next_global_block
+        return self.store.sequence.to_global(self._volume_index, self._block_addr)
+
+    def tail_image(self) -> bytes | None:
+        """Current encoded image of the tail block, or None if no tail open."""
+        if self._builder is None or self._builder.is_empty:
+            return None
+        return self._builder.encode()
+
+    # -- resume (recovery path) ----------------------------------------------
+
+    def resume_tail(self, volume_index: int, block_addr: int, image: bytes) -> None:
+        """Adopt a tail block image recovered from NVRAM (Section 2.3.1)."""
+        self._volume_index = volume_index
+        self._block_addr = block_addr
+        self._builder = BlockBuilder.from_image(image)
+        parsed_starts = self._builder.fragment_count - (1 if self._builder.cont_in else 0)
+        self._block_has_entry_start = parsed_starts > 0
+        self.store.cache.put(
+            self.store.cache_key(volume_index, block_addr), self._builder.encode()
+        )
+
+    # -- public append operations -----------------------------------------------
+
+    def append(
+        self,
+        logfile_id: int,
+        data: bytes,
+        *,
+        want_timestamp: bool = True,
+        client_seq: int | None = None,
+        force: bool = False,
+    ) -> AppendResult:
+        """Append one client entry to ``logfile_id``.
+
+        Returns the location and (if timestamped) the server timestamp that
+        uniquely identifies the entry.  ``force=True`` makes the entry
+        durable before returning (NVRAM store, or a burned partial block on
+        pure WORM configurations).
+        """
+        ancestors = self.store.catalog.ancestors(logfile_id)
+        tracked = frozenset(a for a in ancestors if a not in UNTRACKED_IDS)
+        timestamp = None
+        if want_timestamp or client_seq is not None:
+            timestamp = self._make_timestamp()
+        entry = LogEntry(
+            logfile_id=logfile_id,
+            data=data,
+            timestamp=timestamp,
+            client_seq=client_seq,
+        )
+        location, final_entry = self._write_entry(entry, tracked)
+        space = self.store.space
+        space.client_entries += 1
+        space.client_data += len(data)
+        space.entry_headers += final_entry.header_size
+        if force:
+            self._force()
+        self.drain_corrupt_reports()
+        return AppendResult(location=location, timestamp=final_entry.timestamp)
+
+    def append_catalog_record(
+        self, record: CatalogRecord, force: bool = True
+    ) -> AppendResult:
+        """Append a record to the catalog log file (always timestamped;
+        forced by default — losing catalog records loses log files)."""
+        entry = LogEntry(
+            logfile_id=CATALOG_ID, data=record.encode(), timestamp=self._make_timestamp()
+        )
+        location, final_entry = self._write_entry(entry, frozenset({CATALOG_ID}))
+        self.store.space.catalog += final_entry.record_size
+        if force:
+            self._force()
+        self.drain_corrupt_reports()
+        return AppendResult(location=location, timestamp=final_entry.timestamp)
+
+    def append_reserved(self, logfile_id: int, payload: bytes) -> AppendResult:
+        """Append to another reserved log file (e.g. the corrupted-block log)."""
+        entry = LogEntry(
+            logfile_id=logfile_id, data=payload, timestamp=self._make_timestamp()
+        )
+        tracked = frozenset({logfile_id}) - UNTRACKED_IDS
+        location, final_entry = self._write_entry(entry, tracked)
+        return AppendResult(location=location, timestamp=final_entry.timestamp)
+
+    def flush(self) -> None:
+        """Burn the tail block even if partially filled (volume unmount,
+        clean shutdown without NVRAM)."""
+        if self._builder is not None and not self._builder.is_empty:
+            self.store.space.forced_padding += max(0, self._builder.free_bytes + 2)
+            self._burn_current()
+
+    # -- internals -------------------------------------------------------------
+
+    def _make_timestamp(self) -> int:
+        self.store.clock.advance_ms(self.store.costs.timestamp_ms)
+        return self.store.clock.timestamp()
+
+    @property
+    def _volume(self) -> LogVolume:
+        return self.store.sequence.volumes[self._volume_index]
+
+    @property
+    def _state(self) -> EntrymapState:
+        return self.store.states[self._volume_index]
+
+    def _write_entry(
+        self, entry: LogEntry, tracked: frozenset[int]
+    ) -> tuple[EntryLocation, LogEntry]:
+        """Pack the entry into the tail, fragmenting across blocks as needed."""
+        if self._builder is None:
+            self._open_block(cont_in=False)
+        entry = self._upgrade_if_first(entry)
+        record = entry.encode()
+        taken = self._builder.add_record(record, entry.header_size)
+        while taken == 0:
+            self._burn_current()
+            self._open_block(cont_in=False)
+            entry = self._upgrade_if_first(entry)
+            record = entry.encode()
+            taken = self._builder.add_record(record, entry.header_size)
+        first_block = self.store.sequence.to_global(self._volume_index, self._block_addr)
+        slot = self._builder.fragment_count - 1
+        self._block_has_entry_start = True
+        self._note_fragment(tracked)
+        self.store.space.size_index += 2
+        while taken < len(record):
+            self._carry_tracked_ids = tracked
+            self._burn_current()
+            self._open_block(cont_in=True)
+            taken += self._builder.add_continuation(record[taken:])
+            self._note_fragment(tracked)
+            self.store.space.size_index += 2
+            if not self._builder.cont_out:
+                # The continuation fragment is in place; any entrymap
+                # entries due at this block can now be emitted after it.
+                self._emit_due_entrymap_entries()
+        self._carry_tracked_ids = frozenset()
+        self._refresh_tail_cache()
+        return EntryLocation(global_block=first_block, slot=slot), entry
+
+    def _upgrade_if_first(self, entry: LogEntry) -> LogEntry:
+        """Force a timestamp onto the first entry starting in the block
+        ("a header timestamp is mandatory for the first log entry in each
+        block", Section 2.1)."""
+        if self._block_has_entry_start or entry.timestamp is not None:
+            return entry
+        return LogEntry(
+            logfile_id=entry.logfile_id,
+            data=entry.data,
+            timestamp=self._make_timestamp(),
+            client_seq=entry.client_seq,
+        )
+
+    def _note_fragment(self, tracked: frozenset[int]) -> None:
+        if tracked:
+            self._state.note_membership(self._block_addr, tracked)
+        self.store.clock.advance_ms(self.store.costs.entrymap_per_entry_ms)
+
+    def _refresh_tail_cache(self) -> None:
+        key = self.store.cache_key(self._volume_index, self._block_addr)
+        self.store.cache.put(key, self._builder.encode())
+
+    def _burn_current(self) -> None:
+        """Write the tail block image to the device and retire the builder.
+
+        If the target block turns out to carry garbage (a failure wrote to
+        never-written media, Section 2.3.2), it is invalidated, its
+        location queued for the corrupted-block log file, and the image is
+        burned at the next good block — entrymap bits already noted for the
+        bad address are harmless false positives (the reader skips
+        invalidated blocks).
+        """
+        image = self._builder.encode()
+        while True:
+            try:
+                local = self._volume.append_data_block(image)
+                break
+            except CorruptBlockError as exc:
+                bad_local = exc.block - 1  # device block -> data block
+                self._volume.invalidate_data_block(bad_local)
+                self._pending_corrupt_reports.append(
+                    (self._volume_index, bad_local)
+                )
+        if local != self._block_addr:
+            # Relocated past one or more corrupt blocks: drop the stale
+            # tail images cached under the skipped addresses and re-note
+            # the memberships under the block's final address.
+            for stale in range(self._block_addr, local):
+                self.store.cache.invalidate(
+                    self.store.cache_key(self._volume_index, stale)
+                )
+            self._renote_members(image, local)
+            self._block_addr = local
+        self.store.cache.put(self.store.cache_key(self._volume_index, local), image)
+        self.store.space.blocks_written += 1
+        if self.store.nvram is not None:
+            self.store.nvram.clear()
+        self._builder = None
+        self._block_has_entry_start = False
+
+    def _renote_members(self, image: bytes, local: int) -> None:
+        """Record a relocated block's memberships under its real address."""
+        from repro.core.block import parse_block
+        from repro.core.entry import decode_record
+
+        parsed = parse_block(image)
+        members: set[int] = set(self._carry_tracked_ids if parsed.cont_in else ())
+        for slot in parsed.entry_start_slots():
+            try:
+                header = decode_record(parsed.fragments[slot]).entry
+            except Exception:
+                continue
+            try:
+                chain = self.store.catalog.ancestors(header.logfile_id)
+            except Exception:
+                chain = [header.logfile_id]
+            members.update(a for a in chain if a not in UNTRACKED_IDS)
+        if members:
+            self._state.note_membership(local, members)
+
+    def drain_corrupt_reports(self) -> None:
+        """Append queued corrupted-block records (Section 2.3.2).
+
+        Called after each public append completes so the reserved-log write
+        never interleaves with a client entry mid-fragmentation.
+        """
+        if self._draining or not self._pending_corrupt_reports:
+            return
+        from repro.core.ids import CORRUPTED_BLOCK_ID
+        from repro.core.recovery import encode_corrupted_block_record
+
+        self._draining = True
+        try:
+            while self._pending_corrupt_reports:
+                volume_index, local = self._pending_corrupt_reports.pop(0)
+                self.append_reserved(
+                    CORRUPTED_BLOCK_ID,
+                    encode_corrupted_block_record(volume_index, local),
+                )
+        finally:
+            self._draining = False
+
+    def _open_block(self, cont_in: bool) -> None:
+        """Open the next tail block, extending the volume sequence if the
+        active volume is full, and emit any entrymap entries now due."""
+        if self._volume.is_full:
+            self._extend_sequence()
+        self._block_addr = self._volume.next_data_block
+        self._builder = BlockBuilder(self.store.config.block_size, cont_in=cont_in)
+        self._block_has_entry_start = False
+        if not cont_in:
+            # A continuation fragment must be the block's first fragment,
+            # so entrymap entries due at a continuation block are emitted
+            # right after that fragment lands (see _write_entry) — they
+            # stay due until emitted, and the reader's relocation window /
+            # lower-level fallback tolerates the displacement.
+            self._emit_due_entrymap_entries()
+
+    def _extend_sequence(self) -> None:
+        """Load a (previously unused) successor volume (Section 2.1)."""
+        device = self.store.make_device()
+        self.store.sequence.create_volume(device, created_ts=self.store.clock.now_us)
+        self._volume_index = len(self.store.sequence.volumes) - 1
+        self.store.states.append(
+            EntrymapState(self.store.config.degree_n, self._volume.data_capacity)
+        )
+
+    def _emit_due_entrymap_entries(self) -> None:
+        """Write the entrymap log entries whose well-known position is the
+        block now opening (Section 2.1: level-i entries every N^i blocks).
+
+        Emission advances the state's boundaries *before* the record is
+        packed, so if packing spills into further blocks the re-entrant
+        call sees no duplicate work and terminates.
+        """
+        state = self._state
+        due = state.entries_due(self._block_addr)
+        for level, boundary in due:
+            if state is not self._state:
+                # The volume changed underneath us (a record spilled across
+                # a volume boundary); the old volume's remaining entries
+                # can no longer be written to it.  Readers fall back.
+                break
+            if boundary != state.next_emit[level]:
+                # A nested emission (triggered while packing an earlier
+                # record of this batch spilled into the next block) already
+                # wrote this entry.
+                continue
+            record = state.emit(level, boundary)
+            entry = LogEntry(
+                logfile_id=ENTRYMAP_ID,
+                data=record.encode(),
+                timestamp=self._make_timestamp(),
+            )
+            encoded = entry.encode()
+            taken = self._builder.add_record(encoded, entry.header_size)
+            while taken == 0:
+                self._burn_current()
+                self._open_block(cont_in=False)
+                taken = self._builder.add_record(encoded, entry.header_size)
+            self._block_has_entry_start = True
+            self.store.space.entrymap += entry.record_size + 2
+            while taken < len(encoded):
+                self._burn_current()
+                self._open_block(cont_in=True)
+                taken += self._builder.add_continuation(encoded[taken:])
+                self.store.space.entrymap += 2
+
+    def _force(self) -> None:
+        """Make everything appended so far durable (Section 2.3.1)."""
+        if self._builder is None or self._builder.is_empty:
+            return
+        if self.store.nvram is not None:
+            global_block = self.store.sequence.to_global(
+                self._volume_index, self._block_addr
+            )
+            self.store.nvram.store(global_block, self._builder.encode())
+        else:
+            # Pure write-once device: burn the partial block.  "Frequent
+            # forced writes can lead to considerable internal fragmentation"
+            # — account the wasted space so benchmarks can show it.
+            self.store.space.forced_padding += max(0, self._builder.free_bytes + 2)
+            self._burn_current()

@@ -1,0 +1,32 @@
+"""The conventional file server substrate and the uniform I/O layer."""
+
+from repro.fs.disk import Allocator, CachedDisk, DiskLayout, FsError, NoSpaceError
+from repro.fs.extentfs import Extent, ExtentFile, ExtentFileSystem
+from repro.fs.filesystem import FileSystem, RegularFile
+from repro.fs.uio import (
+    LogFileUio,
+    RegularFileUio,
+    UioError,
+    UioObject,
+    uio_copy,
+    uio_lines,
+)
+
+__all__ = [
+    "FileSystem",
+    "RegularFile",
+    "ExtentFileSystem",
+    "ExtentFile",
+    "Extent",
+    "FsError",
+    "NoSpaceError",
+    "Allocator",
+    "CachedDisk",
+    "DiskLayout",
+    "UioObject",
+    "UioError",
+    "RegularFileUio",
+    "LogFileUio",
+    "uio_copy",
+    "uio_lines",
+]

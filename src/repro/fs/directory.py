@@ -1,0 +1,59 @@
+"""Directories: files mapping names to inode numbers.
+
+Fixed-size directory entries (name ≤ 27 bytes + 4-byte inode number + tag
+byte) packed into the directory file's data blocks, in the 4.2 BSD
+tradition — enough structure for hierarchical naming and the shared
+directory-management code the paper mentions.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.fs.disk import FsError
+
+__all__ = ["DirEntry", "pack_entries", "unpack_entries", "DIRENT_SIZE"]
+
+DIRENT_SIZE = 32
+_NAME_MAX = DIRENT_SIZE - 5
+_HEADER = struct.Struct(">IB")
+
+
+class DirEntry:
+    """One (name, inode) pair."""
+
+    __slots__ = ("name", "inode_number")
+
+    def __init__(self, name: str, inode_number: int):
+        if not name or len(name.encode()) > _NAME_MAX:
+            raise FsError(f"invalid directory entry name {name!r}")
+        if "/" in name or "\x00" in name:
+            raise FsError(f"invalid character in name {name!r}")
+        self.name = name
+        self.inode_number = inode_number
+
+    def encode(self) -> bytes:
+        name_bytes = self.name.encode()
+        return (
+            _HEADER.pack(self.inode_number, len(name_bytes))
+            + name_bytes
+            + b"\x00" * (_NAME_MAX - len(name_bytes))
+        )
+
+    def __repr__(self) -> str:
+        return f"DirEntry({self.name!r} -> {self.inode_number})"
+
+
+def pack_entries(entries: list[DirEntry]) -> bytes:
+    return b"".join(entry.encode() for entry in entries)
+
+
+def unpack_entries(data: bytes) -> list[DirEntry]:
+    entries = []
+    for offset in range(0, len(data) - DIRENT_SIZE + 1, DIRENT_SIZE):
+        inode_number, name_len = _HEADER.unpack_from(data, offset)
+        if name_len == 0:
+            continue
+        name = data[offset + 5 : offset + 5 + name_len].decode()
+        entries.append(DirEntry(name, inode_number))
+    return entries

@@ -1,0 +1,230 @@
+"""On-disk layout and block allocation for the conventional file system.
+
+The paper's Clio is "implemented as an extension of an existing file
+server" that also serves ordinary rewriteable files.  This module provides
+that server's disk layout: a superblock, an inode table, a block-allocation
+bitmap, and a data region, all on a rewriteable device and accessed through
+the shared block cache.
+
+The allocator is first-fit from a rotating cursor — deliberately simple,
+and enough to reproduce the fragmentation behaviour the paper's
+introduction attributes to conventional file systems under continually
+growing files.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.cache import BlockCache
+from repro.worm.device import RewritableDevice
+
+__all__ = ["FsError", "NoSpaceError", "DiskLayout", "Allocator", "CachedDisk"]
+
+_SUPER = struct.Struct(">8sIIIIII")
+_SUPER_MAGIC = b"REPROFS1"
+
+
+class FsError(Exception):
+    """Generic file system error."""
+
+
+class NoSpaceError(FsError):
+    """The data region is exhausted."""
+
+
+@dataclass(frozen=True, slots=True)
+class DiskLayout:
+    """Where everything lives on the disk, in block addresses."""
+
+    block_size: int
+    total_blocks: int
+    inode_count: int
+    inode_table_start: int
+    inode_table_blocks: int
+    bitmap_start: int
+    bitmap_blocks: int
+    data_start: int
+
+    @classmethod
+    def compute(
+        cls, block_size: int, total_blocks: int, inode_count: int, inode_size: int
+    ) -> "DiskLayout":
+        inodes_per_block = block_size // inode_size
+        inode_table_blocks = -(-inode_count // inodes_per_block)
+        bits_per_block = block_size * 8
+        bitmap_blocks = -(-total_blocks // bits_per_block)
+        inode_table_start = 1
+        bitmap_start = inode_table_start + inode_table_blocks
+        data_start = bitmap_start + bitmap_blocks
+        if data_start >= total_blocks:
+            raise FsError("device too small for the requested layout")
+        return cls(
+            block_size=block_size,
+            total_blocks=total_blocks,
+            inode_count=inode_count,
+            inode_table_start=inode_table_start,
+            inode_table_blocks=inode_table_blocks,
+            bitmap_start=bitmap_start,
+            bitmap_blocks=bitmap_blocks,
+            data_start=data_start,
+        )
+
+    def encode_superblock(self) -> bytes:
+        packed = _SUPER.pack(
+            _SUPER_MAGIC,
+            self.block_size,
+            self.total_blocks,
+            self.inode_count,
+            self.inode_table_start,
+            self.bitmap_start,
+            self.data_start,
+        )
+        return packed + b"\x00" * (self.block_size - len(packed))
+
+    @classmethod
+    def decode_superblock(cls, data: bytes, inode_size: int) -> "DiskLayout":
+        magic, block_size, total, inode_count, it_start, bm_start, data_start = (
+            _SUPER.unpack_from(data, 0)
+        )
+        if magic != _SUPER_MAGIC:
+            raise FsError(f"bad superblock magic {magic!r}")
+        return cls(
+            block_size=block_size,
+            total_blocks=total,
+            inode_count=inode_count,
+            inode_table_start=it_start,
+            inode_table_blocks=bm_start - it_start,
+            bitmap_start=bm_start,
+            bitmap_blocks=data_start - bm_start,
+            data_start=data_start,
+        )
+
+
+class CachedDisk:
+    """A rewriteable device accessed through the shared block cache.
+
+    Writes go write-through (cache + device) so the device is always
+    consistent; reads fill the cache.  All the file system's I/O funnels
+    through here, which is what lets benchmarks count block operations.
+    """
+
+    def __init__(
+        self, device: RewritableDevice, cache: BlockCache, namespace: str = "fs"
+    ):
+        self.device = device
+        self.cache = cache
+        self.namespace = namespace
+
+    def _key(self, block: int):
+        return (self.namespace, id(self.device), block)
+
+    def read(self, block: int) -> bytes:
+        return self.cache.get(self._key(block), lambda: self.device.read_block(block))
+
+    def write(self, block: int, data: bytes) -> None:
+        self.device.write_block(block, data)
+        self.cache.put(self._key(block), bytes(data))
+
+    @property
+    def block_size(self) -> int:
+        return self.device.block_size
+
+
+class Allocator:
+    """Bitmap block allocator over the data region."""
+
+    def __init__(self, disk: CachedDisk, layout: DiskLayout, load: bool = False):
+        self.disk = disk
+        self.layout = layout
+        total = layout.total_blocks
+        if load:
+            raw = bytearray()
+            for i in range(layout.bitmap_blocks):
+                raw += self.disk.read(layout.bitmap_start + i)
+            self._bits = bytearray(raw[: -(-total // 8)])
+        else:
+            self._bits = bytearray(-(-total // 8))
+            # Metadata blocks are permanently allocated.
+            for block in range(layout.data_start):
+                self._set(block, True)
+            self.sync()
+        self._cursor = layout.data_start
+
+    # -- bit plumbing ------------------------------------------------------
+
+    def _get(self, block: int) -> bool:
+        return bool(self._bits[block // 8] & (1 << (block % 8)))
+
+    def _set(self, block: int, used: bool) -> None:
+        if used:
+            self._bits[block // 8] |= 1 << (block % 8)
+        else:
+            self._bits[block // 8] &= ~(1 << (block % 8))
+
+    def is_allocated(self, block: int) -> bool:
+        return self._get(block)
+
+    @property
+    def free_blocks(self) -> int:
+        total = self.layout.total_blocks
+        used = sum(bin(b).count("1") for b in self._bits)
+        # Bits past total_blocks are always clear.
+        return total - used
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Allocate one block, first-fit from a rotating cursor."""
+        layout = self.layout
+        span = layout.total_blocks - layout.data_start
+        for offset in range(span):
+            block = layout.data_start + (
+                (self._cursor - layout.data_start + offset) % span
+            )
+            if not self._get(block):
+                self._set(block, True)
+                self._cursor = block + 1
+                return block
+        raise NoSpaceError("no free blocks")
+
+    def allocate_contiguous(self, count: int) -> int | None:
+        """Allocate ``count`` adjacent blocks; None if no run exists.
+
+        Used by the extent-based variant.
+        """
+        layout = self.layout
+        run = 0
+        for block in range(layout.data_start, layout.total_blocks):
+            if self._get(block):
+                run = 0
+                continue
+            run += 1
+            if run == count:
+                start = block - count + 1
+                for b in range(start, start + count):
+                    self._set(b, True)
+                return start
+        return None
+
+    def free(self, block: int) -> None:
+        if not self._get(block):
+            raise FsError(f"double free of block {block}")
+        if block < self.layout.data_start:
+            raise FsError(f"cannot free metadata block {block}")
+        self._set(block, False)
+
+    # -- persistence --------------------------------------------------------
+
+    def sync(self) -> None:
+        """Write the bitmap back to its reserved blocks."""
+        block_size = self.layout.block_size
+        padded = bytes(self._bits) + b"\x00" * (
+            self.layout.bitmap_blocks * block_size - len(self._bits)
+        )
+        for i in range(self.layout.bitmap_blocks):
+            self.disk.write(
+                self.layout.bitmap_start + i,
+                padded[i * block_size : (i + 1) * block_size],
+            )

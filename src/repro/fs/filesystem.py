@@ -1,0 +1,269 @@
+"""The conventional (rewriteable) file system facade.
+
+A small 4.2 BSD-flavoured file system: superblock, inode table with
+direct/indirect pointers, bitmap allocator, hierarchical directories —
+running over a :class:`~repro.worm.device.RewritableDevice` through the
+shared block cache.  It plays two roles in the reproduction:
+
+* the *host server* Clio extends (regular files and log files coexist in
+  one cache, as Section 3.1 describes); and
+* the *baseline* whose behaviour on large, continually growing files the
+  introduction critiques.
+"""
+
+from __future__ import annotations
+
+from repro.cache import BlockCache
+from repro.fs.directory import DirEntry, pack_entries, unpack_entries
+from repro.fs.disk import Allocator, CachedDisk, DiskLayout, FsError
+from repro.fs.inode import INODE_SIZE, BlockMapper, FileType, Inode, InodeStore
+from repro.worm.device import RewritableDevice
+
+__all__ = ["FileSystem", "RegularFile", "FsError"]
+
+
+class RegularFile:
+    """An open regular file with a position cursor."""
+
+    def __init__(self, fs: "FileSystem", inode: Inode, path: str):
+        self._fs = fs
+        self._inode = inode
+        self.path = path
+        self.position = 0
+
+    @property
+    def size(self) -> int:
+        return self._inode.size
+
+    @property
+    def inode_number(self) -> int:
+        return self._inode.number
+
+    def seek(self, position: int) -> None:
+        if position < 0:
+            raise FsError("cannot seek before start of file")
+        self.position = position
+
+    def read(self, length: int | None = None) -> bytes:
+        data = self._fs.read_at(self._inode, self.position, length)
+        self.position += len(data)
+        return data
+
+    def write(self, data: bytes) -> int:
+        written = self._fs.write_at(self._inode, self.position, data)
+        self.position += written
+        return written
+
+    def append(self, data: bytes) -> int:
+        self.position = self._inode.size
+        return self.write(data)
+
+
+class FileSystem:
+    """Unix-like file system over one rewriteable device."""
+
+    def __init__(
+        self,
+        disk: CachedDisk,
+        layout: DiskLayout,
+        allocator: Allocator,
+        inodes: InodeStore,
+        root_inode: int,
+    ):
+        self.disk = disk
+        self.layout = layout
+        self.allocator = allocator
+        self.inodes = inodes
+        self.mapper = BlockMapper(disk, allocator)
+        self.root_inode = root_inode
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def format(
+        cls,
+        device: RewritableDevice,
+        cache: BlockCache | None = None,
+        inode_count: int = 256,
+    ) -> "FileSystem":
+        # `cache or ...` would discard an *empty* shared cache (BlockCache
+        # defines __len__, so an empty pool is falsy) — test explicitly.
+        if cache is None:
+            cache = BlockCache(max(64, device.capacity_blocks // 4))
+        disk = CachedDisk(device, cache)
+        layout = DiskLayout.compute(
+            device.block_size, device.capacity_blocks, inode_count, INODE_SIZE
+        )
+        disk.write(0, layout.encode_superblock())
+        inodes = InodeStore(disk, layout)
+        inodes.format_table()
+        allocator = Allocator(disk, layout)
+        fs = cls(disk, layout, allocator, inodes, root_inode=0)
+        root = inodes.allocate(FileType.DIRECTORY)
+        if root.number != 0:
+            raise FsError("root inode must be inode 0 on a fresh file system")
+        return fs
+
+    @classmethod
+    def mount(cls, device: RewritableDevice, cache: BlockCache | None = None):
+        # `cache or ...` would discard an *empty* shared cache (BlockCache
+        # defines __len__, so an empty pool is falsy) — test explicitly.
+        if cache is None:
+            cache = BlockCache(max(64, device.capacity_blocks // 4))
+        disk = CachedDisk(device, cache)
+        layout = DiskLayout.decode_superblock(disk.read(0), INODE_SIZE)
+        allocator = Allocator(disk, layout, load=True)
+        inodes = InodeStore(disk, layout)
+        return cls(disk, layout, allocator, inodes, root_inode=0)
+
+    def sync(self) -> None:
+        self.allocator.sync()
+
+    # -- low-level data I/O ----------------------------------------------------
+
+    def read_at(self, inode: Inode, offset: int, length: int | None) -> bytes:
+        if offset >= inode.size:
+            return b""
+        if length is None:
+            length = inode.size - offset
+        length = min(length, inode.size - offset)
+        block_size = self.disk.block_size
+        out = bytearray()
+        position = offset
+        remaining = length
+        while remaining > 0:
+            index, in_block = divmod(position, block_size)
+            take = min(remaining, block_size - in_block)
+            disk_block = self.mapper.resolve(inode, index, allocate=False)
+            if disk_block == 0:
+                out += b"\x00" * take  # hole
+            else:
+                out += self.disk.read(disk_block)[in_block : in_block + take]
+            position += take
+            remaining -= take
+        return bytes(out)
+
+    def write_at(self, inode: Inode, offset: int, data: bytes) -> int:
+        block_size = self.disk.block_size
+        position = offset
+        remaining = memoryview(data)
+        while remaining:
+            index, in_block = divmod(position, block_size)
+            take = min(len(remaining), block_size - in_block)
+            disk_block = self.mapper.resolve(inode, index, allocate=True)
+            if in_block == 0 and take == block_size:
+                block_data = bytes(remaining[:take])
+            else:
+                merged = bytearray(self.disk.read(disk_block))
+                merged[in_block : in_block + take] = remaining[:take]
+                block_data = bytes(merged)
+            self.disk.write(disk_block, block_data)
+            position += take
+            remaining = remaining[take:]
+        if position > inode.size:
+            inode.size = position
+        self.inodes.save(inode)
+        return len(data)
+
+    # -- directories -------------------------------------------------------------
+
+    def _load_dir(self, inode: Inode) -> list[DirEntry]:
+        return unpack_entries(self.read_at(inode, 0, None))
+
+    def _save_dir(self, inode: Inode, entries: list[DirEntry]) -> None:
+        payload = pack_entries(entries)
+        inode.size = 0
+        self.write_at(inode, 0, payload)
+        inode.size = len(payload)
+        self.inodes.save(inode)
+
+    def _resolve(self, path: str) -> tuple[Inode, str]:
+        """(parent directory inode, final component) for a path."""
+        if not path.startswith("/"):
+            raise FsError(f"path {path!r} must be absolute")
+        components = [c for c in path.split("/") if c]
+        if not components:
+            raise FsError("path resolves to the root directory itself")
+        current = self.inodes.load(self.root_inode)
+        for component in components[:-1]:
+            entry = self._lookup(current, component)
+            if entry is None:
+                raise FsError(f"no such directory {component!r} in {path!r}")
+            current = self.inodes.load(entry.inode_number)
+            if current.file_type is not FileType.DIRECTORY:
+                raise FsError(f"{component!r} is not a directory")
+        return current, components[-1]
+
+    def _lookup(self, dir_inode: Inode, name: str) -> DirEntry | None:
+        for entry in self._load_dir(dir_inode):
+            if entry.name == name:
+                return entry
+        return None
+
+    # -- public namespace API -------------------------------------------------------
+
+    def create(self, path: str) -> RegularFile:
+        parent, name = self._resolve(path)
+        if self._lookup(parent, name) is not None:
+            raise FsError(f"{path!r} already exists")
+        inode = self.inodes.allocate(FileType.REGULAR)
+        entries = self._load_dir(parent)
+        entries.append(DirEntry(name, inode.number))
+        self._save_dir(parent, entries)
+        return RegularFile(self, inode, path)
+
+    def mkdir(self, path: str) -> None:
+        parent, name = self._resolve(path)
+        if self._lookup(parent, name) is not None:
+            raise FsError(f"{path!r} already exists")
+        inode = self.inodes.allocate(FileType.DIRECTORY)
+        entries = self._load_dir(parent)
+        entries.append(DirEntry(name, inode.number))
+        self._save_dir(parent, entries)
+
+    def open(self, path: str) -> RegularFile:
+        parent, name = self._resolve(path)
+        entry = self._lookup(parent, name)
+        if entry is None:
+            raise FsError(f"no such file {path!r}")
+        inode = self.inodes.load(entry.inode_number)
+        if inode.file_type is not FileType.REGULAR:
+            raise FsError(f"{path!r} is not a regular file")
+        return RegularFile(self, inode, path)
+
+    def listdir(self, path: str = "/") -> list[str]:
+        if path == "/":
+            inode = self.inodes.load(self.root_inode)
+        else:
+            parent, name = self._resolve(path)
+            entry = self._lookup(parent, name)
+            if entry is None:
+                raise FsError(f"no such directory {path!r}")
+            inode = self.inodes.load(entry.inode_number)
+        if inode.file_type is not FileType.DIRECTORY:
+            raise FsError(f"{path!r} is not a directory")
+        return sorted(entry.name for entry in self._load_dir(inode))
+
+    def unlink(self, path: str) -> None:
+        parent, name = self._resolve(path)
+        entry = self._lookup(parent, name)
+        if entry is None:
+            raise FsError(f"no such file {path!r}")
+        inode = self.inodes.load(entry.inode_number)
+        if inode.file_type is FileType.DIRECTORY:
+            if self._load_dir(inode):
+                raise FsError(f"directory {path!r} not empty")
+        else:
+            self.mapper.free_all(inode)
+        inode.file_type = FileType.FREE
+        inode.nlink = 0
+        self.inodes.save(inode)
+        entries = [e for e in self._load_dir(parent) if e.name != name]
+        self._save_dir(parent, entries)
+
+    def exists(self, path: str) -> bool:
+        try:
+            parent, name = self._resolve(path)
+        except FsError:
+            return False
+        return self._lookup(parent, name) is not None

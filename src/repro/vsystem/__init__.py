@@ -1,0 +1,14 @@
+"""Simulated V-System environment: clock, cost model, IPC."""
+
+from repro.vsystem.clock import SimClock, SkewedClock
+from repro.vsystem.costs import SUN3, CostModel
+from repro.vsystem.ipc import AsyncPort, IpcChannel
+
+__all__ = [
+    "SimClock",
+    "SkewedClock",
+    "CostModel",
+    "SUN3",
+    "IpcChannel",
+    "AsyncPort",
+]

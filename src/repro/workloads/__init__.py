@@ -1,0 +1,24 @@
+"""Workload generators for tests and benchmarks."""
+
+from repro.workloads.entries import (
+    EntryStream,
+    fixed_size,
+    lognormal_size,
+    uniform_size,
+    zipf_weights,
+)
+from repro.workloads.filetrace import FileOp, FileTrace, TraceEvent
+from repro.workloads.login_log import LoginLogWorkload, LoginRecord
+
+__all__ = [
+    "EntryStream",
+    "fixed_size",
+    "uniform_size",
+    "lognormal_size",
+    "zipf_weights",
+    "FileOp",
+    "FileTrace",
+    "TraceEvent",
+    "LoginLogWorkload",
+    "LoginRecord",
+]

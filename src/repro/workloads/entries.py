@@ -1,0 +1,82 @@
+"""Entry-stream workload generators.
+
+Parametric streams of (logfile, payload) pairs used by tests and
+benchmarks: configurable size distributions and log-file mixes, all
+deterministic under a seed.  The paper's environment is "volume sequences
+that are several hundred volumes long, containing millions of records" fed
+by many concurrent subsystems — these generators model that mix at
+laptop scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = [
+    "SizeDistribution",
+    "fixed_size",
+    "uniform_size",
+    "lognormal_size",
+    "EntryStream",
+    "zipf_weights",
+]
+
+
+SizeDistribution = Callable[[random.Random], int]
+
+
+def fixed_size(size: int) -> SizeDistribution:
+    return lambda rng: size
+
+
+def uniform_size(low: int, high: int) -> SizeDistribution:
+    if low > high:
+        raise ValueError("low must be <= high")
+    return lambda rng: rng.randint(low, high)
+
+
+def lognormal_size(median: float, sigma: float = 0.8, cap: int = 60_000) -> SizeDistribution:
+    """Heavy-tailed sizes, the usual shape of real log records."""
+    import math
+
+    mu = math.log(median)
+    return lambda rng: min(cap, max(0, int(rng.lognormvariate(mu, sigma))))
+
+
+def zipf_weights(count: int, skew: float = 1.0) -> list[float]:
+    """Zipf-ish popularity: a few hot log files, a long cold tail."""
+    weights = [1.0 / (rank + 1) ** skew for rank in range(count)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+@dataclass
+class EntryStream:
+    """A reproducible stream of (logfile index, payload) pairs.
+
+    ``logfile_weights[i]`` is the probability the next entry targets log
+    file *i*; payload sizes come from ``size_dist``.  Payload bytes encode
+    the (logfile, sequence) pair so tests can verify content integrity.
+    """
+
+    logfile_weights: list[float]
+    size_dist: SizeDistribution
+    seed: int = 0
+
+    def generate(self, count: int) -> Iterator[tuple[int, bytes]]:
+        rng = random.Random(self.seed)
+        indices = list(range(len(self.logfile_weights)))
+        sequence = 0
+        for _ in range(count):
+            target = rng.choices(indices, weights=self.logfile_weights)[0]
+            size = self.size_dist(rng)
+            stamp = f"[{target}:{sequence}]".encode()
+            if size <= len(stamp):
+                payload = stamp[:size]
+            else:
+                filler = rng.randbytes(size - len(stamp))
+                payload = stamp + filler
+            sequence += 1
+            yield target, payload

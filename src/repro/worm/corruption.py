@@ -1,0 +1,186 @@
+"""Fault injection for the write-once substrate.
+
+Section 2.3.2 requires the log service to tolerate *log volume corruption*:
+"a failure may cause a portion of the log volume to be written with
+garbage".  The tools here manufacture exactly those failures so the recovery
+paths in :mod:`repro.core.recovery` can be tested deterministically:
+
+* :func:`corrupt_block` — overwrite a block (written or not) with garbage,
+  bypassing the write-once check, as a failing controller would.
+* :func:`corrupt_range` — garbage a contiguous run of blocks.
+* :class:`CrashingWormDevice` — a proxy that crashes the device after a
+  programmed number of writes, optionally tearing the final write (only a
+  prefix reaches the medium).  Tests sweep the crash point across every
+  write of a workload to establish prefix durability.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.worm.device import WormDevice
+from repro.worm.errors import DeviceCrashed
+
+__all__ = ["corrupt_block", "corrupt_range", "CrashingWormDevice"]
+
+
+def corrupt_block(
+    device: WormDevice, block: int, rng: random.Random | None = None
+) -> bytes:
+    """Overwrite ``block`` with random garbage, returning the garbage written.
+
+    Uses the device's fault-injection back door: this is a *hardware
+    failure*, not a client operation, so the write-once check is bypassed.
+    The garbage is guaranteed not to be the all-1s invalidation pattern
+    (which would make the block look deliberately invalidated rather than
+    corrupt).
+    """
+    rng = rng or random.Random(0)
+    while True:
+        garbage = bytes(rng.getrandbits(8) for _ in range(device.block_size))
+        if any(b != WormDevice.INVALID_FILL for b in garbage):
+            break
+    device._raw_overwrite(block, garbage)
+    return garbage
+
+
+def corrupt_range(
+    device: WormDevice,
+    first_block: int,
+    count: int,
+    rng: random.Random | None = None,
+) -> list[int]:
+    """Garbage ``count`` consecutive blocks starting at ``first_block``."""
+    rng = rng or random.Random(0)
+    corrupted = []
+    for block in range(first_block, first_block + count):
+        corrupt_block(device, block, rng)
+        corrupted.append(block)
+    return corrupted
+
+
+class CrashingWormDevice:
+    """Proxy over a :class:`WormDevice` that fails after N writes.
+
+    Reads and queries pass through untouched.  The ``crash_after_writes``-th
+    write either never reaches the medium (``torn=False``) or reaches it as
+    a garbage-suffixed prefix (``torn=True``, modelling a torn sector
+    write); either way :class:`~repro.worm.errors.DeviceCrashed` is raised,
+    and every subsequent operation also raises until :meth:`reincarnate` is
+    called — at which point the underlying device, with whatever actually
+    hit the medium, is returned for the recovery code to mount.
+    """
+
+    def __init__(
+        self,
+        inner: WormDevice,
+        crash_after_writes: int,
+        torn: bool = False,
+        rng: random.Random | None = None,
+    ):
+        if crash_after_writes < 0:
+            raise ValueError("crash_after_writes must be >= 0")
+        self._inner = inner
+        self._remaining = crash_after_writes
+        self._torn = torn
+        self._rng = rng or random.Random(1)
+        self._crashed = False
+
+    # -- passthrough properties ------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        return self._inner.block_size
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self._inner.capacity_blocks
+
+    @property
+    def next_writable(self) -> int:
+        self._check_alive()
+        return self._inner.next_writable
+
+    @property
+    def blocks_written(self) -> int:
+        self._check_alive()
+        return self._inner.blocks_written
+
+    @property
+    def is_full(self) -> bool:
+        self._check_alive()
+        return self._inner.is_full
+
+    @property
+    def supports_tail_query(self) -> bool:
+        return self._inner.supports_tail_query
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    @property
+    def clock(self):
+        return self._inner.clock
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise DeviceCrashed("device has crashed; call reincarnate()")
+
+    @property
+    def has_crashed(self) -> bool:
+        return self._crashed
+
+    def reincarnate(self) -> WormDevice:
+        """Return the underlying device for post-crash recovery."""
+        if not self._crashed:
+            raise RuntimeError("device has not crashed yet")
+        return self._inner
+
+    # -- operations --------------------------------------------------------
+
+    def read_block(self, block: int) -> bytes:
+        self._check_alive()
+        return self._inner.read_block(block)
+
+    def is_written(self, block: int) -> bool:
+        self._check_alive()
+        return self._inner.is_written(block)
+
+    def is_invalidated(self, block: int) -> bool:
+        self._check_alive()
+        return self._inner.is_invalidated(block)
+
+    def query_tail(self) -> int:
+        self._check_alive()
+        return self._inner.query_tail()
+
+    def invalidate(self, block: int) -> None:
+        self._check_alive()
+        self._inner.invalidate(block)
+
+    def write_block(self, block: int, data: bytes) -> None:
+        self._check_alive()
+        if self._remaining == 0:
+            self._crashed = True
+            if self._torn:
+                cut = self._rng.randrange(1, self._inner.block_size)
+                garbage = bytes(
+                    self._rng.getrandbits(8)
+                    for _ in range(self._inner.block_size - cut)
+                )
+                self._inner._raw_overwrite(block, data[:cut] + garbage)
+            raise DeviceCrashed(
+                f"injected crash on write to block {block}"
+                + (" (torn)" if self._torn else " (lost)")
+            )
+        self._remaining -= 1
+        self._inner.write_block(block, data)
+
+    def append_block(self, data: bytes) -> int:
+        self._check_alive()
+        block = self._inner.next_writable
+        self.write_block(block, data)
+        return block

@@ -1,0 +1,141 @@
+"""Error taxonomy for the write-once storage substrate.
+
+The paper (Section 2.3) distinguishes two broad fault classes the log
+service must survive: file-server crashes (loss of volatile state) and log
+volume corruption (garbage written to the device).  The exceptions here give
+each failure a precise, catchable identity so the recovery code in
+:mod:`repro.core.recovery` can react to exactly the condition it expects,
+and so tests can assert that the append-only discipline is enforced *by the
+device layer*, not merely by convention.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "StorageError",
+    "WriteOnceViolation",
+    "BlockOutOfRange",
+    "UnwrittenBlockError",
+    "CorruptBlockError",
+    "InvalidatedBlockError",
+    "VolumeFullError",
+    "VolumeSealedError",
+    "VolumeSequenceError",
+    "DeviceCrashed",
+]
+
+
+class StorageError(Exception):
+    """Base class for all storage-substrate errors."""
+
+
+class WriteOnceViolation(StorageError):
+    """An attempt was made to rewrite an already-written block.
+
+    The paper favours "a log device that is physically incapable of writing
+    anywhere except at the end of the written portion of the volume"
+    (Section 2).  :class:`repro.worm.device.WormDevice` raises this for any
+    write that is not the next unwritten block, which is how the simulator
+    models that physical enforcement.
+    """
+
+    def __init__(self, block: int, next_writable: int):
+        self.block = block
+        self.next_writable = next_writable
+        super().__init__(
+            f"write-once violation: block {block} is not the append point "
+            f"(next writable block is {next_writable})"
+        )
+
+
+class BlockOutOfRange(StorageError):
+    """A block address beyond the end of the volume was referenced."""
+
+    def __init__(self, block: int, capacity: int):
+        self.block = block
+        self.capacity = capacity
+        super().__init__(
+            f"block {block} out of range for volume of {capacity} blocks"
+        )
+
+
+class UnwrittenBlockError(StorageError):
+    """A read was issued for a block that has never been written.
+
+    Recovery uses this distinction (written vs. unwritten) when binary
+    searching for the end of the written portion of a volume.
+    """
+
+    def __init__(self, block: int):
+        self.block = block
+        super().__init__(f"block {block} has never been written")
+
+
+class CorruptBlockError(StorageError):
+    """A block's content failed its integrity check (CRC mismatch).
+
+    Corresponds to Section 2.3.2: "a failure may cause a portion of the log
+    volume to be written with garbage".
+    """
+
+    def __init__(self, block: int, detail: str = ""):
+        self.block = block
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"block {block} is corrupt{suffix}")
+
+
+class InvalidatedBlockError(StorageError):
+    """A block was read that has been deliberately invalidated (all 1s).
+
+    Invalidated blocks are not errors in the corruption sense — the logging
+    service simply ignores them (Section 2.3.2) — but low-level readers
+    surface them distinctly so higher layers can skip rather than abort.
+    """
+
+    def __init__(self, block: int):
+        self.block = block
+        super().__init__(f"block {block} has been invalidated")
+
+
+class VolumeFullError(StorageError):
+    """An append was attempted on a volume with no unwritten blocks left."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        super().__init__(f"volume full ({capacity} blocks written)")
+
+
+class VolumeSealedError(StorageError):
+    """An append was attempted on a sealed (read-only successor'd) volume."""
+
+    def __init__(self, volume_id: str):
+        self.volume_id = volume_id
+        super().__init__(f"volume {volume_id} is sealed; writes must go to its successor")
+
+
+class VolumeSequenceError(StorageError):
+    """A volume-sequence invariant was violated (bad chaining, wrong order)."""
+
+
+class VolumeOfflineError(StorageError):
+    """A read touched a volume that is not currently mounted.
+
+    "Many of the previous volumes in a volume sequence may also be
+    available for reading (only), or may be made available on demand,
+    either automatically or manually" (Section 2.1).  This error is the
+    manual case; the service's demand handler is the automatic one.
+    """
+
+    def __init__(self, volume_index: int):
+        self.volume_index = volume_index
+        super().__init__(
+            f"volume {volume_index} is offline; mount it to read this data"
+        )
+
+
+class DeviceCrashed(StorageError):
+    """The simulated device/server has crashed and must be recovered.
+
+    Raised by fault-injection wrappers once their programmed crash point is
+    reached; tests use it to drive crash-at-every-point sweeps.
+    """

@@ -1,0 +1,156 @@
+"""Device-level replication (Section 5.1, footnote 11).
+
+Clio deliberately leaves replication out of the log service proper — "our
+design does not preclude the possibility of replication occurring at the
+log device level (that is, with mirrored disks)".  :class:`MirroredWormDevice`
+is that device-level option: it presents the standard write-once device
+interface while keeping *k* replicas in lockstep.
+
+Semantics:
+
+* writes go to every healthy replica; a replica whose write fails (e.g. a
+  garbage-corrupted block, or an injected fault) is dropped from the
+  mirror set and the write proceeds on the survivors;
+* reads are served by the first healthy replica whose copy passes; a
+  replica returning corrupt/unreadable data triggers *read repair
+  reporting* (the block is readable as long as any replica has it);
+* the mirror fails only when every replica has failed.
+"""
+
+from __future__ import annotations
+
+from repro.worm.device import WormDevice
+from repro.worm.errors import (
+    CorruptBlockError,
+    InvalidatedBlockError,
+    StorageError,
+    UnwrittenBlockError,
+)
+
+__all__ = ["MirroredWormDevice", "MirrorFailure"]
+
+
+class MirrorFailure(StorageError):
+    """Every replica of the mirror has failed."""
+
+
+class MirroredWormDevice:
+    """A write-once device mirrored over multiple physical replicas.
+
+    Duck-types :class:`~repro.worm.device.WormDevice` for everything the
+    volume layer uses.
+    """
+
+    def __init__(self, replicas: list[WormDevice]):
+        if not replicas:
+            raise ValueError("a mirror needs at least one replica")
+        first = replicas[0]
+        for replica in replicas[1:]:
+            if (
+                replica.block_size != first.block_size
+                or replica.capacity_blocks != first.capacity_blocks
+            ):
+                raise ValueError("mirror replicas must have identical geometry")
+            if replica.next_writable != first.next_writable:
+                raise ValueError("mirror replicas must start in the same state")
+        self._replicas: list[WormDevice] = list(replicas)
+        self._failed: list[WormDevice] = []
+        #: (replica index, block) pairs where a read found divergence.
+        self.read_repairs: list[tuple[int, int]] = []
+
+    # -- passthrough geometry ----------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        return self._primary.block_size
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self._primary.capacity_blocks
+
+    @property
+    def _primary(self) -> WormDevice:
+        if not self._replicas:
+            raise MirrorFailure("all replicas have failed")
+        return self._replicas[0]
+
+    @property
+    def healthy_replicas(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def next_writable(self) -> int:
+        return self._primary.next_writable
+
+    @property
+    def blocks_written(self) -> int:
+        return self._primary.blocks_written
+
+    @property
+    def is_full(self) -> bool:
+        return self._primary.is_full
+
+    @property
+    def supports_tail_query(self) -> bool:
+        return self._primary.supports_tail_query
+
+    @property
+    def stats(self):
+        return self._primary.stats
+
+    @property
+    def clock(self):
+        return self._primary.clock
+
+    def query_tail(self) -> int:
+        return self._primary.query_tail()
+
+    # -- writes ------------------------------------------------------------
+
+    def _drop_replica(self, replica: WormDevice) -> None:
+        self._replicas.remove(replica)
+        self._failed.append(replica)
+        if not self._replicas:
+            raise MirrorFailure("all replicas have failed")
+
+    def write_block(self, block: int, data: bytes) -> None:
+        survivors_wrote = False
+        for replica in list(self._replicas):
+            try:
+                replica.write_block(block, data)
+                survivors_wrote = True
+            except CorruptBlockError:
+                # This replica's medium is damaged at this address; the
+                # mirror continues on the others.
+                self._drop_replica(replica)
+        if not survivors_wrote:
+            raise MirrorFailure(f"no replica could write block {block}")
+
+    def append_block(self, data: bytes) -> int:
+        block = self.next_writable
+        self.write_block(block, data)
+        return block
+
+    def invalidate(self, block: int) -> None:
+        for replica in list(self._replicas):
+            replica.invalidate(block)
+
+    # -- reads ---------------------------------------------------------------
+
+    def read_block(self, block: int) -> bytes:
+        last_error: Exception | None = None
+        for index, replica in enumerate(self._replicas):
+            try:
+                return replica.read_block(block)
+            except (UnwrittenBlockError, InvalidatedBlockError, CorruptBlockError) as exc:
+                self.read_repairs.append((index, block))
+                last_error = exc
+        if last_error is not None:
+            raise last_error
+        raise MirrorFailure("all replicas have failed")
+
+    def is_written(self, block: int) -> bool:
+        return self._primary.is_written(block)
+
+    def is_invalidated(self, block: int) -> bool:
+        return self._primary.is_invalidated(block)

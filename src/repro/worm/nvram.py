@@ -1,0 +1,88 @@
+"""Battery-backed RAM staging for the tail of the log device.
+
+Section 2.3.1: *"On a (purely) write-once log device, frequent forced writes
+can lead to considerable internal fragmentation, since a block, once
+written, cannot be rewritten to fill in additional contents.  Ideally, in
+order to efficiently support frequent forced writes, the tail end of the log
+device is implemented as rewriteable non-volatile storage, such as battery
+backed-up RAM."*
+
+:class:`NvramTail` models that component: a small rewriteable store holding
+the image of the partially filled tail block.  A forced write updates the
+NVRAM image (durable, cheap) instead of burning a WORM block per force; the
+block is written to the WORM device once, when it fills.  Crash behaviour is
+configurable so tests can exercise both a surviving NVRAM (the design point)
+and a lost one (pure-WORM degradation, where each force burns a block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NvramTail", "TailImage"]
+
+
+@dataclass(frozen=True, slots=True)
+class TailImage:
+    """Durable image of the in-progress tail block."""
+
+    block_index: int
+    data: bytes
+
+
+class NvramTail:
+    """Rewriteable non-volatile staging buffer for the tail block.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Size of the NVRAM; must hold at least one block image.
+    survives_crash:
+        If True (the hardware design point), the stored image is still
+        available after :meth:`crash`.  If False, a crash clears it, which
+        models a configuration without battery backup.
+    write_cost_ms:
+        Simulated time charged per NVRAM update (battery-backed RAM is
+        orders of magnitude faster than the disk, but not free).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        survives_crash: bool = True,
+        clock=None,
+        write_cost_ms: float = 0.01,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.survives_crash = survives_crash
+        self.clock = clock
+        self.write_cost_ms = write_cost_ms
+        self.writes = 0
+        self._image: TailImage | None = None
+
+    def store(self, block_index: int, data: bytes) -> None:
+        """Durably record the current tail-block image."""
+        if len(data) > self.capacity_bytes:
+            raise ValueError(
+                f"tail image of {len(data)} bytes exceeds NVRAM capacity "
+                f"of {self.capacity_bytes} bytes"
+            )
+        self.writes += 1
+        if self.clock is not None:
+            self.clock.advance_ms(self.write_cost_ms)
+        self._image = TailImage(block_index, bytes(data))
+
+    def load(self) -> TailImage | None:
+        """Return the stored tail image, or None if NVRAM is empty."""
+        return self._image
+
+    def clear(self) -> None:
+        """Discard the stored image (tail block was flushed to the device)."""
+        self._image = None
+
+    def crash(self) -> None:
+        """Simulate a power failure / server crash."""
+        if not self.survives_crash:
+            self._image = None

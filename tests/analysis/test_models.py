@@ -1,0 +1,77 @@
+"""Tests for the paper's closed-form cost models (theory overlays)."""
+
+import pytest
+
+from repro.analysis import (
+    blocks_read,
+    entrymap_entries_examined,
+    entrymap_overhead_bound,
+    expected_blocks_examined,
+    figure3_curve,
+    figure4_curve,
+    header_overhead_fraction,
+    login_log_paper_params,
+)
+
+
+class TestAnalysisModels:
+    def test_locate_model_table1_pattern(self):
+        for k in (1, 2, 3, 4, 5):
+            n = entrymap_entries_examined(16**k, 16)
+            assert n == pytest.approx(2 * k - 1)
+
+    def test_blocks_read_table1_pattern(self):
+        assert blocks_read(0, 16) == 1
+        for k in (1, 2, 3):
+            assert blocks_read(16**k, 16) == pytest.approx(2 * k + 1)
+
+    def test_little_benefit_beyond_degree_32(self):
+        """'There is little benefit in N being larger than 16 or 32.'"""
+        d = 10**7
+        n4 = entrymap_entries_examined(d, 4)
+        n16 = entrymap_entries_examined(d, 16)
+        n128 = entrymap_entries_examined(d, 128)
+        # Diminishing returns: quadrupling N from 4 saves far more than the
+        # further 8x from 16 to 128.
+        assert (n4 - n16) > (n16 - n128)
+        assert n128 > n16 / 2  # even N=128 examines more than half of N=16's
+
+    def test_figure3_curve_shape(self):
+        curves = figure3_curve()
+        # Monotone in d; decreasing in N at fixed d.
+        for degree, points in curves.items():
+            values = [v for _, v in points]
+            assert values == sorted(values)
+        assert curves[4][-1][1] > curves[128][-1][1]
+
+    def test_recovery_model_increases_with_degree(self):
+        """Figure 4: reconstruction cost grows with N."""
+        b = 10**6
+        assert expected_blocks_examined(b, 128) > expected_blocks_examined(b, 16)
+        assert expected_blocks_examined(b, 16) > expected_blocks_examined(b, 4)
+
+    def test_figure4_curve_monotone_in_b(self):
+        for degree, points in figure4_curve().items():
+            values = [v for _, v in points]
+            assert values == sorted(values)
+
+    def test_header_overhead_paper_claims(self):
+        assert header_overhead_fraction(36) == pytest.approx(0.10)
+        assert header_overhead_fraction(37) < 0.10
+        assert header_overhead_fraction(0) == 1.0
+
+    def test_entrymap_overhead_login_log_bound(self):
+        """Section 3.5: o_e < 0.16 bytes for the login log."""
+        params = login_log_paper_params()
+        bound = entrymap_overhead_bound(
+            degree=params["degree"],
+            active_logfiles=params["active_logfiles"],
+            entry_block_fraction=params["entry_block_fraction"],
+        )
+        assert bound < params["paper_bound_bytes"] + 0.02
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            entrymap_entries_examined(10, 1)
+        with pytest.raises(ValueError):
+            entrymap_overhead_bound(16, 8, 0.0)

@@ -1,0 +1,155 @@
+"""Tests for atomic regular-file updates journaled through log files
+(the Section 6 'planned extension', implemented)."""
+
+import pytest
+
+from repro.apps.atomic_fs import AtomicFileUpdater
+from repro.cache import BlockCache
+from repro.core import LogService
+from repro.fs import FileSystem
+from repro.worm import RewritableDevice
+
+BS = 256
+
+
+def make_stack():
+    device = RewritableDevice(block_size=BS, capacity_blocks=2048)
+    fs = FileSystem.format(device, cache=BlockCache(256), inode_count=32)
+    service = LogService.create(
+        block_size=BS, degree_n=4, volume_capacity_blocks=1024
+    )
+    return fs, service, AtomicFileUpdater(fs, service)
+
+
+class TestAtomicCommit:
+    def test_multi_file_update_applies(self):
+        fs, _, updater = make_stack()
+        update = updater.begin()
+        update.stage("/a", 0, b"alpha")
+        update.stage("/b", 0, b"beta")
+        updater.commit(update)
+        assert fs.open("/a").read() == b"alpha"
+        assert fs.open("/b").read() == b"beta"
+
+    def test_update_to_existing_file(self):
+        fs, _, updater = make_stack()
+        f = fs.create("/doc")
+        f.write(b"AAAABBBB")
+        update = updater.begin()
+        update.stage("/doc", 4, b"XXXX")
+        updater.commit(update)
+        assert fs.open("/doc").read() == b"AAAAXXXX"
+
+    def test_stage_after_commit_rejected(self):
+        _, _, updater = make_stack()
+        update = updater.begin()
+        update.stage("/a", 0, b"x")
+        updater.commit(update)
+        with pytest.raises(RuntimeError):
+            update.stage("/b", 0, b"y")
+
+    def test_double_commit_rejected(self):
+        _, _, updater = make_stack()
+        update = updater.begin()
+        update.stage("/a", 0, b"x")
+        updater.commit(update)
+        with pytest.raises(RuntimeError):
+            updater.log_intent(update)
+
+    def test_apply_before_commit_rejected(self):
+        _, _, updater = make_stack()
+        update = updater.begin()
+        update.stage("/a", 0, b"x")
+        with pytest.raises(RuntimeError):
+            updater.apply(update)
+
+
+class TestAtomicRecovery:
+    def test_committed_unapplied_update_redone(self):
+        """Crash between COMMIT and application: recovery finishes it."""
+        fs, service, updater = make_stack()
+        update = updater.begin()
+        update.stage("/a", 0, b"committed-data")
+        updater.commit(update, apply=False)  # crash before application
+        assert not fs.exists("/a")
+        fresh = AtomicFileUpdater(fs, service)
+        assert fresh.recover() == 1
+        assert fs.open("/a").read() == b"committed-data"
+
+    def test_uncommitted_intents_ignored(self):
+        fs, service, updater = make_stack()
+        update = updater.begin()
+        update.stage("/ghost", 0, b"never committed")
+        # Journal the intents but crash before the COMMIT record.
+        from repro.apps.atomic_fs import _encode_intent
+
+        for path, offset, data in update.writes:
+            updater.journal.append(
+                _encode_intent(update.update_id, path, offset, data),
+                timestamped=False,
+            )
+        fresh = AtomicFileUpdater(fs, service)
+        assert fresh.recover() == 0
+        assert not fs.exists("/ghost")
+
+    def test_applied_updates_not_redone(self):
+        fs, service, updater = make_stack()
+        update = updater.begin()
+        update.stage("/a", 0, b"v1")
+        updater.commit(update)
+        f = fs.open("/a")
+        f.write(b"v2")  # later independent overwrite
+        fs.sync()
+        fresh = AtomicFileUpdater(fs, service)
+        assert fresh.recover() == 0
+        assert fs.open("/a").read() == b"v2"  # redo did NOT clobber
+
+    def test_redo_is_idempotent(self):
+        fs, service, updater = make_stack()
+        update = updater.begin()
+        update.stage("/a", 0, b"data")
+        updater.commit(update, apply=False)
+        first = AtomicFileUpdater(fs, service)
+        first.recover()
+        second = AtomicFileUpdater(fs, service)
+        assert second.recover() == 0
+        assert fs.open("/a").read() == b"data"
+
+    def test_recovery_across_log_service_crash(self):
+        """The journal itself survives a full log-server crash."""
+        fs, service, updater = make_stack()
+        update = updater.begin()
+        update.stage("/critical", 0, b"must-apply")
+        updater.commit(update, apply=False)
+        remains = service.crash()
+        mounted, _ = LogService.mount(remains.devices, remains.nvram)
+        fresh = AtomicFileUpdater(fs, mounted)
+        assert fresh.recover() == 1
+        assert fs.open("/critical").read() == b"must-apply"
+
+    def test_update_ids_resume_after_recovery(self):
+        fs, service, updater = make_stack()
+        update = updater.begin()
+        update.stage("/a", 0, b"x")
+        updater.commit(update)
+        fresh = AtomicFileUpdater(fs, service)
+        fresh.recover()
+        assert fresh.begin().update_id > update.update_id
+
+    def test_interleaved_committed_and_uncommitted(self):
+        fs, service, updater = make_stack()
+        good = updater.begin()
+        good.stage("/good", 0, b"yes")
+        bad = updater.begin()
+        bad.stage("/bad", 0, b"no")
+        # good commits fully durable but unapplied; bad never commits.
+        updater.commit(good, apply=False)
+        from repro.apps.atomic_fs import _encode_intent
+
+        updater.journal.append(
+            _encode_intent(bad.update_id, "/bad", 0, b"no"), timestamped=False
+        )
+        fresh = AtomicFileUpdater(fs, service)
+        assert fresh.recover() == 1
+        assert fs.open("/good").read() == b"yes"
+        assert not fs.exists("/bad")

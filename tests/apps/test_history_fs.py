@@ -1,0 +1,216 @@
+"""Tests for the history-based file server (Section 4.1)."""
+
+import pytest
+
+from repro.apps import HistoryFileServer
+from repro.core import LogService
+
+
+def make_server(**kwargs):
+    service = LogService.create(
+        block_size=512, degree_n=4, volume_capacity_blocks=2048
+    )
+    return HistoryFileServer(service, **kwargs), service
+
+
+class TestBasicOps:
+    def test_write_read(self):
+        server, _ = make_server()
+        server.write("/doc", 0, b"hello")
+        assert server.read("/doc") == b"hello"
+
+    def test_overwrite_and_extend(self):
+        server, _ = make_server()
+        server.write("/doc", 0, b"AAAA")
+        server.write("/doc", 2, b"bbcc")
+        assert server.read("/doc") == b"AAbbcc"
+
+    def test_sparse_write(self):
+        server, _ = make_server()
+        server.write("/doc", 4, b"xy")
+        assert server.read("/doc") == b"\x00\x00\x00\x00xy"
+
+    def test_truncate(self):
+        server, _ = make_server()
+        server.write("/doc", 0, b"longcontent")
+        server.truncate("/doc", 4)
+        assert server.read("/doc") == b"long"
+
+    def test_properties(self):
+        server, _ = make_server()
+        server.write("/doc", 0, b"x")
+        server.set_property("/doc", "owner", b"smith")
+        assert server.properties("/doc")["owner"] == b"smith"
+
+    def test_delete(self):
+        server, _ = make_server()
+        server.write("/doc", 0, b"x")
+        server.delete("/doc")
+        assert not server.exists("/doc")
+        with pytest.raises(FileNotFoundError):
+            server.read("/doc")
+
+    def test_missing_file(self):
+        server, _ = make_server()
+        with pytest.raises(FileNotFoundError):
+            server.read("/nope")
+        with pytest.raises(FileNotFoundError):
+            server.delete("/nope")
+
+    def test_list_files(self):
+        server, _ = make_server()
+        server.write("/a", 0, b"1")
+        server.write("/b", 0, b"2")
+        assert server.list_files() == ["/a", "/b"]
+
+    def test_nested_paths(self):
+        server, _ = make_server()
+        server.write("/dir/sub/file", 0, b"deep")
+        assert server.read("/dir/sub/file") == b"deep"
+
+
+class TestHistory:
+    def test_version_at_earlier_time(self):
+        server, service = make_server()
+        server.write("/doc", 0, b"version-one")
+        t1 = service.clock.timestamp()
+        server.write("/doc", 8, b"TWO")
+        assert server.read("/doc") == b"version-TWO"
+        assert server.version_at("/doc", t1) == b"version-one"
+
+    def test_version_before_creation_is_none(self):
+        server, service = make_server()
+        t0 = service.clock.timestamp()
+        server.write("/doc", 0, b"x")
+        assert server.version_at("/doc", t0 - 1) is None
+
+    def test_version_of_deleted_file(self):
+        server, service = make_server()
+        server.write("/doc", 0, b"alive")
+        t1 = service.clock.timestamp()
+        server.delete("/doc")
+        t2 = service.clock.timestamp()
+        assert server.version_at("/doc", t1) == b"alive"
+        assert server.version_at("/doc", t2) is None
+
+    def test_recreation_after_delete(self):
+        server, service = make_server()
+        server.write("/doc", 0, b"first life")
+        server.delete("/doc")
+        server.write("/doc", 0, b"second life")
+        assert server.read("/doc") == b"second life"
+        now = service.clock.timestamp()
+        assert server.version_at("/doc", now) == b"second life"
+
+
+class TestRecovery:
+    def test_recover_rebuilds_cache(self):
+        server, service = make_server()
+        server.write("/a", 0, b"alpha")
+        server.write("/b", 0, b"beta")
+        server.set_property("/a", "mode", b"600")
+        # New server instance over the same service: cold cache.
+        fresh = HistoryFileServer(service)
+        count = fresh.recover()
+        assert count == 2
+        assert fresh.read("/a") == b"alpha"
+        assert fresh.properties("/a")["mode"] == b"600"
+        assert fresh.read("/b") == b"beta"
+
+    def test_recover_excludes_deleted(self):
+        server, service = make_server()
+        server.write("/a", 0, b"x")
+        server.write("/b", 0, b"y")
+        server.delete("/a")
+        fresh = HistoryFileServer(service)
+        fresh.recover()
+        assert fresh.list_files() == ["/b"]
+
+    def test_recover_after_service_crash(self):
+        """Full loop: history server -> service crash -> mount -> replay."""
+        server, service = make_server()
+        server.write("/persist", 0, b"critical data")
+        remains = service.crash()
+        mounted, _ = LogService.mount(remains.devices, remains.nvram)
+        fresh = HistoryFileServer(mounted)
+        fresh.recover()
+        assert fresh.read("/persist") == b"critical data"
+
+
+class TestReadAccessHistory:
+    def test_reads_not_logged_by_default(self):
+        server, service = make_server()
+        server.write("/doc", 0, b"x")
+        server.read("/doc")
+        assert server.read_accesses("/doc") == []
+
+    def test_reads_logged_when_enabled(self):
+        server, service = make_server(log_reads=True)
+        server.write("/doc", 0, b"x")
+        server.read("/doc", reader="smith")
+        server.read("/doc", reader="jones")
+        accesses = server.read_accesses("/doc")
+        assert [reader for _, reader in accesses] == ["smith", "jones"]
+        stamps = [ts for ts, _ in accesses]
+        assert stamps == sorted(stamps)
+
+    def test_read_records_do_not_affect_content(self):
+        server, service = make_server(log_reads=True)
+        server.write("/doc", 0, b"content")
+        server.read("/doc", reader="auditor")
+        fresh = HistoryFileServer(service)
+        fresh.recover()
+        assert fresh.read("/doc") == b"content"
+
+    def test_access_history_survives_crash(self):
+        from repro.core import LogService
+
+        server, service = make_server(log_reads=True)
+        server.write("/doc", 0, b"x")
+        server.read("/doc", reader="smith")
+        remains = service.crash()
+        mounted, _ = LogService.mount(remains.devices, remains.nvram)
+        fresh = HistoryFileServer(mounted, log_reads=True)
+        fresh.recover()
+        assert [r for _, r in fresh.read_accesses("/doc")] == ["smith"]
+
+
+class TestDelayedWrite:
+    def test_pending_writes_absorbed_by_delete(self):
+        """Section 4.1: short-lived data never reaches the log device."""
+        server, service = make_server(flush_delay_us=10_000_000)
+        server.write("/temp", 0, b"scratch")
+        server.write("/temp", 7, b" data")
+        server.delete("/temp")
+        assert server.stats.writes_issued == 2
+        assert server.stats.writes_absorbed == 2
+        assert server.stats.writes_logged == 0
+
+    def test_flush_after_delay_logs(self):
+        server, service = make_server(flush_delay_us=1_000_000)
+        server.write("/keeper", 0, b"durable")
+        server.flush(now_us=service.clock.now_us + 2_000_000)
+        assert server.stats.writes_logged == 1
+
+    def test_flush_respects_due_times(self):
+        server, service = make_server(flush_delay_us=1_000_000)
+        server.write("/keeper", 0, b"x")
+        flushed = server.flush(now_us=service.clock.now_us)  # too early
+        assert flushed == 0
+
+    def test_unflushed_writes_invisible_to_history(self):
+        server, service = make_server(flush_delay_us=10_000_000)
+        server.write("/doc", 0, b"only in RAM")
+        assert server.read("/doc") == b"only in RAM"  # cache sees it
+        now = service.clock.timestamp()
+        assert server.version_at("/doc", now) is None  # history does not
+
+    def test_absorption_ratio(self):
+        server, _ = make_server(flush_delay_us=10**9)
+        for i in range(10):
+            server.write(f"/f{i}", 0, b"x")
+        for i in range(6):
+            server.delete(f"/f{i}")
+        server.flush()
+        assert server.stats.absorption_ratio == pytest.approx(0.6)
+        assert server.stats.writes_logged == 4

@@ -1,0 +1,107 @@
+"""Tests for the performance-monitoring application."""
+
+import pytest
+
+from repro.apps.perfmon import MetricsLog, SeriesStats
+from repro.core import LogService
+
+
+def make_metrics():
+    service = LogService.create(
+        block_size=512, degree_n=4, volume_capacity_blocks=2048
+    )
+    return service, MetricsLog(service)
+
+
+class TestRecording:
+    def test_record_and_read_back(self):
+        service, metrics = make_metrics()
+        metrics.record("cpu", 0.42)
+        metrics.record("cpu", 0.55)
+        samples = metrics.samples("cpu")
+        assert [s.value for s in samples] == [0.42, 0.55]
+        assert all(s.metric == "cpu" for s in samples)
+
+    def test_metrics_isolated(self):
+        service, metrics = make_metrics()
+        metrics.record("cpu", 1.0)
+        metrics.record("disk", 2.0)
+        assert [s.value for s in metrics.samples("cpu")] == [1.0]
+        assert [s.value for s in metrics.samples("disk")] == [2.0]
+
+    def test_all_samples_interleaved_in_order(self):
+        service, metrics = make_metrics()
+        metrics.record("a", 1.0)
+        metrics.record("b", 2.0)
+        metrics.record("a", 3.0)
+        assert [s.value for s in metrics.all_samples()] == [1.0, 2.0, 3.0]
+
+    def test_metric_names_listed(self):
+        service, metrics = make_metrics()
+        metrics.record("cpu", 1.0)
+        metrics.record("net", 1.0)
+        assert metrics.metrics() == ["cpu", "net"]
+
+    def test_observed_time_recorded(self):
+        service, metrics = make_metrics()
+        metrics.record("cpu", 1.0)
+        service.clock.advance_ms(1000)
+        metrics.record("cpu", 2.0)
+        samples = metrics.samples("cpu")
+        assert samples[1].observed_us - samples[0].observed_us >= 1_000_000
+
+
+class TestAggregation:
+    def test_stats_over_all_samples(self):
+        service, metrics = make_metrics()
+        for value in (1.0, 2.0, 3.0, 10.0):
+            metrics.record("latency", value)
+        stats = metrics.stats("latency")
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 10.0
+
+    def test_stats_over_window(self):
+        service, metrics = make_metrics()
+        metrics.record("qps", 100.0)
+        service.clock.advance_ms(60_000)
+        window_start = service.clock.now_us
+        metrics.record("qps", 200.0)
+        metrics.record("qps", 300.0)
+        stats = metrics.stats("qps", start_us=window_start)
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(250.0)
+
+    def test_empty_stats(self):
+        service, metrics = make_metrics()
+        metrics.record("other", 1.0)
+        stats = metrics.stats("other", start_us=10**15)
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+
+class TestDurability:
+    def test_checkpointed_samples_survive_crash(self):
+        service, metrics = make_metrics()
+        for i in range(10):
+            metrics.record("cpu", float(i))
+        metrics.checkpoint()
+        remains = service.crash()
+        mounted, _ = LogService.mount(remains.devices, remains.nvram)
+        metrics2 = MetricsLog(mounted)
+        assert [s.value for s in metrics2.samples("cpu")] == [float(i) for i in range(10)]
+
+    def test_uncheckpointed_tail_may_be_lost(self):
+        service = LogService.create(
+            block_size=512,
+            degree_n=4,
+            volume_capacity_blocks=2048,
+            nvram_tail=False,
+        )
+        metrics = MetricsLog(service)
+        metrics.record("cpu", 1.0)  # lives only in the unburned tail
+        remains = service.crash()
+        mounted, _ = LogService.mount(remains.devices, remains.nvram)
+        metrics2 = MetricsLog(mounted)
+        assert metrics2.samples("cpu") == []

@@ -1,0 +1,75 @@
+"""Tests for temporal snapshots of the transactional store (the paper's
+Section 5.2 connection to temporal databases, via the history-based model)."""
+
+import pytest
+
+from repro.apps import TransactionManager
+from repro.core import LogService
+
+
+def make_manager():
+    service = LogService.create(
+        block_size=256, degree_n=4, volume_capacity_blocks=1024
+    )
+    return service, TransactionManager(service)
+
+
+def commit(manager, **kv):
+    txn = manager.begin()
+    for key, value in kv.items():
+        txn.write(key.encode(), value.encode())
+    manager.commit(txn)
+
+
+class TestSnapshots:
+    def test_snapshot_before_everything_is_empty(self):
+        service, manager = make_manager()
+        t0 = service.clock.timestamp()
+        commit(manager, k="v")
+        assert manager.snapshot_at(t0) == {}
+
+    def test_snapshot_between_commits(self):
+        service, manager = make_manager()
+        commit(manager, balance="100")
+        t1 = service.clock.timestamp()
+        commit(manager, balance="250")
+        t2 = service.clock.timestamp()
+        commit(manager, balance="999", other="x")
+        assert manager.snapshot_at(t1) == {b"balance": b"100"}
+        assert manager.snapshot_at(t2) == {b"balance": b"250"}
+
+    def test_snapshot_now_equals_current_state(self):
+        service, manager = make_manager()
+        commit(manager, a="1")
+        commit(manager, b="2")
+        now = service.clock.timestamp()
+        assert manager.snapshot_at(now) == manager.data
+
+    def test_snapshot_ignores_uncommitted(self):
+        service, manager = make_manager()
+        commit(manager, real="yes")
+        orphan = manager.begin()
+        orphan.write(b"ghost", b"no")
+        manager._append_body(orphan)
+        now = service.clock.timestamp()
+        assert manager.snapshot_at(now) == {b"real": b"yes"}
+
+    def test_snapshot_sees_overwrites_in_order(self):
+        service, manager = make_manager()
+        history = []
+        for i in range(5):
+            commit(manager, counter=str(i))
+            history.append(service.clock.timestamp())
+        for i, ts in enumerate(history):
+            assert manager.snapshot_at(ts) == {b"counter": str(i).encode()}
+
+    def test_snapshot_after_crash_recovery(self):
+        service, manager = make_manager()
+        commit(manager, epoch="one")
+        t1 = service.clock.timestamp()
+        commit(manager, epoch="two")
+        remains = service.crash()
+        mounted, _ = LogService.mount(remains.devices, remains.nvram)
+        fresh = TransactionManager(mounted)
+        fresh.recover()
+        assert fresh.snapshot_at(t1) == {b"epoch": b"one"}

@@ -1,0 +1,146 @@
+"""Tests for the Section 5 comparators and the intro workload adapters."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    BinaryTreeLog,
+    SwallowRepository,
+    full_backup_cost,
+    grow_interleaved_extent_files,
+    grow_log_file,
+    grow_unix_file,
+    incremental_log_backup_cost,
+    tail_read_profile,
+)
+
+
+class TestBinaryTreeLog:
+    def make_log(self, blocks=1024):
+        log = BinaryTreeLog()
+        for _ in range(blocks):
+            log.append_block(entries_in_block=4)
+        return log
+
+    def test_locate_finds_correct_block(self):
+        log = self.make_log(100)
+        result = log.locate(250)  # entry 250 is in block 62 (4 per block)
+        assert result.block == 62
+
+    def test_locate_out_of_range(self):
+        log = self.make_log(10)
+        assert log.locate(10_000).block is None
+        assert log.locate(-1).block is None
+
+    def test_locate_cost_logarithmic_in_total_size(self):
+        log = self.make_log(1024)
+        result = log.locate(0)
+        assert result.block_reads <= math.ceil(math.log2(1024)) + 1
+
+    def test_locate_cost_insensitive_to_distance(self):
+        """The comparator pays log2(n) even for very near targets — the
+        behaviour Clio's entrymap improves on."""
+        log = self.make_log(4096)
+        near = log.locate_distance_back(1)
+        far = log.locate_distance_back(4000)
+        assert near.block_reads >= math.floor(math.log2(4096)) - 1
+        assert abs(near.block_reads - far.block_reads) <= 2
+
+    def test_locate_distance_back(self):
+        log = self.make_log(64)
+        result = log.locate_distance_back(10)
+        assert result.block == 64 - 1 - 10
+
+
+class TestSwallow:
+    def test_version_chain_roundtrip(self):
+        repo = SwallowRepository()
+        for i in range(5):
+            repo.write_version(1, f"v{i}".encode())
+        versions = repo.read_versions_back(1, 5)
+        assert [v.data for v in versions] == [b"v4", b"v3", b"v2", b"v1", b"v0"]
+
+    def test_current_version_read_is_one_block(self):
+        repo = SwallowRepository()
+        for i in range(100):
+            repo.write_version(1, f"v{i}".encode())
+        repo.block_reads = 0
+        current = repo.read_current(1)
+        assert current.version == 99
+        assert repo.block_reads == 1
+
+    def test_backward_reads_cost_one_block_per_version(self):
+        repo = SwallowRepository()
+        for i in range(50):
+            repo.write_version(1, b"x")
+        repo.block_reads = 0
+        repo.read_versions_back(1, 10)
+        assert repo.block_reads == 10
+
+    def test_forward_scan_reads_every_subsequent_block(self):
+        repo = SwallowRepository()
+        # Interleave two objects so object 1's history is spread out.
+        for i in range(40):
+            repo.write_version(1, f"a{i}".encode())
+            repo.write_version(2, f"b{i}".encode())
+        versions, reads = repo.scan_forward(1, from_version=5)
+        assert [v.version for v in versions] == list(range(5, 40))
+        # Chain walk back (35 reads) + every block from version 5's block
+        # to the end of the medium (70 blocks).
+        assert reads >= 70
+
+    def test_arrival_order_not_preserved_across_objects(self):
+        """Section 5.1: cross-object ordering is not guaranteed."""
+        repo = SwallowRepository(buffer_threshold=3)
+        repo.write_version(1, b"a0")
+        repo.write_version(2, b"b0")
+        repo.write_version(2, b"b1")
+        repo.write_version(2, b"b2")  # flushes object 2's burst first
+        repo.write_version(1, b"a1")
+        repo.flush_all()
+        medium = repo.medium_order()
+        assert medium != repo.arrival_order
+        # But intra-object order is preserved.
+        obj1 = [v for o, v in medium if o == 1]
+        assert obj1 == sorted(obj1)
+
+    def test_missing_object(self):
+        repo = SwallowRepository()
+        assert repo.read_current(9) is None
+        assert repo.read_versions_back(9, 3) == []
+
+
+class TestConventionalAdapters:
+    def test_unix_growth_incurs_indirect_traffic(self):
+        fs, f, report = grow_unix_file(block_size=256, n_blocks=120)
+        assert report.blocks_appended == 120
+        assert report.indirect_reads > 0
+        assert report.indirect_writes > 0
+
+    def test_tail_read_profile_increases(self):
+        fs, f, _ = grow_unix_file(block_size=256, n_blocks=150)
+        profile = tail_read_profile(fs, f, [0, 5, 30, 149])
+        costs = dict(profile)
+        assert costs[0] == 0          # direct block
+        assert costs[149] >= costs[5]  # tail costs at least as much
+        assert costs[149] >= 2         # deep in the indirect tree
+
+    def test_extent_files_fragment(self):
+        fs, files = grow_interleaved_extent_files(
+            block_size=256, n_files=4, blocks_each=30
+        )
+        assert all(f.extent_count > 5 for f in files)
+
+    def test_log_file_growth_no_read_amplification(self):
+        service, report = grow_log_file(block_size=256, n_blocks=120)
+        assert report.device_reads == 0  # pure appends never read
+        # Nearly one device write per appended block (the in-progress tail
+        # block is still unburned at measurement time).
+        assert report.device_writes >= 118
+
+    def test_backup_costs(self):
+        fs, f, _ = grow_unix_file(block_size=256, n_blocks=100)
+        assert full_backup_cost(fs, f) == 100
+        assert incremental_log_backup_cost(100, 90) == 10
+        assert incremental_log_backup_cost(90, 100) == 0

@@ -1,0 +1,163 @@
+"""Tests for the LRU block cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import BlockCache
+
+
+def loader(value):
+    return lambda: value
+
+
+class TestBlockCacheBasics:
+    def test_miss_then_hit(self):
+        cache = BlockCache(capacity_blocks=4)
+        assert cache.get("a", loader(b"1")) == b"1"
+        assert cache.get("a", loader(b"WRONG")) == b"1"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_put_preloads_without_miss(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put("a", b"x")
+        assert cache.get("a", loader(b"WRONG")) == b"x"
+        assert cache.stats.misses == 0
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache(capacity_blocks=2)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.get("a", loader(b"1"))  # a is now MRU
+        cache.put("c", b"3")  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_eviction_counted(self):
+        cache = BlockCache(capacity_blocks=1)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        assert cache.stats.evictions == 1
+
+    def test_invalidate(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put("a", b"1")
+        cache.invalidate("a")
+        assert "a" not in cache
+
+    def test_clear_models_crash(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_peek_does_not_count_access(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put("a", b"1")
+        assert cache.peek("a") == b"1"
+        assert cache.peek("zzz") is None
+        assert cache.stats.accesses == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCache(capacity_blocks=0)
+
+    def test_namespaced_keys_do_not_collide(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put(("fs", 0), b"regular")
+        cache.put(("log", 0), b"logged")
+        assert cache.get(("fs", 0), loader(b"?")) == b"regular"
+        assert cache.get(("log", 0), loader(b"?")) == b"logged"
+
+
+class TestPinning:
+    def test_pinned_block_survives_pressure(self):
+        cache = BlockCache(capacity_blocks=2)
+        cache.put("tail", b"t")
+        cache.pin("tail")
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.put("c", b"3")
+        assert "tail" in cache
+
+    def test_unpin_allows_eviction(self):
+        cache = BlockCache(capacity_blocks=1)
+        cache.put("tail", b"t")
+        cache.pin("tail")
+        cache.unpin("tail")
+        cache.put("a", b"1")
+        assert "tail" not in cache
+
+    def test_pin_uncached_rejected(self):
+        cache = BlockCache(capacity_blocks=2)
+        with pytest.raises(KeyError):
+            cache.pin("missing")
+
+    def test_all_pinned_overflows_rather_than_deadlocks(self):
+        cache = BlockCache(capacity_blocks=1)
+        cache.put("a", b"1")
+        cache.pin("a")
+        cache.put("b", b"2")  # cannot evict the only (pinned) resident
+        assert "a" in cache and "b" in cache
+
+    def test_invalidate_unpins(self):
+        cache = BlockCache(capacity_blocks=2)
+        cache.put("a", b"1")
+        cache.pin("a")
+        cache.invalidate("a")
+        assert not cache.is_pinned("a")
+
+
+class TestHitRatio:
+    def test_hit_ratio_empty(self):
+        assert BlockCache(capacity_blocks=1).stats.hit_ratio == 0.0
+
+    def test_hit_ratio_value(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.get("a", loader(b"1"))
+        cache.get("a", loader(b"1"))
+        cache.get("a", loader(b"1"))
+        cache.get("b", loader(b"2"))
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_snapshot_delta(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.get("a", loader(b"1"))
+        before = cache.stats.snapshot()
+        cache.get("a", loader(b"1"))
+        cache.get("b", loader(b"2"))
+        d = cache.stats.delta(before)
+        assert d.hits == 1
+        assert d.misses == 1
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=20), st.binary(max_size=4)),
+            min_size=1,
+            max_size=100,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_never_exceeded_without_pins(self, ops, capacity):
+        cache = BlockCache(capacity_blocks=capacity)
+        for key, value in ops:
+            cache.put(key, value)
+            assert len(cache) <= capacity
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=80),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_get_always_returns_loader_value(self, keys, capacity):
+        """Whatever the eviction pattern, get() returns the authoritative
+        value for the key (cache transparency)."""
+        backing = {k: str(k).encode() for k in keys}
+        cache = BlockCache(capacity_blocks=capacity)
+        for k in keys:
+            assert cache.get(k, lambda k=k: backing[k]) == backing[k]

@@ -1,0 +1,32 @@
+"""Shared test configuration.
+
+Hypothesis profiles:
+
+* default — the per-test ``settings`` in each module (fast, CI-friendly).
+* ``deep`` — nightly-style fuzzing: many more examples per property.
+  Activate with ``HYPOTHESIS_PROFILE=deep pytest tests/``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    max_examples=35,
+    stateful_step_count=25,
+)
+
+settings.register_profile(
+    "deep",
+    max_examples=300,
+    stateful_step_count=60,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

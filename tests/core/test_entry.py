@@ -1,0 +1,103 @@
+"""Tests for log entry headers (Section 2.2's header forms)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entry import CorruptRecord, HeaderForm, LogEntry, decode_record
+from repro.core.ids import MAX_LOGFILE_ID
+
+
+class TestHeaderForms:
+    def test_minimal_header_is_2_bytes(self):
+        entry = LogEntry(logfile_id=5, data=b"")
+        assert entry.form is HeaderForm.MINIMAL
+        assert entry.header_size == 2
+        assert len(entry.encode()) == 2
+
+    def test_minimal_total_overhead_matches_paper(self):
+        """Section 2.2: the minimal header plus the 2-byte size-index slot
+        gives 4 bytes of overhead, i.e. 400/(d+4)% for d data bytes."""
+        entry = LogEntry(logfile_id=5, data=b"x" * 37)
+        overhead = entry.header_size + 2
+        assert overhead == 4
+        # "less than 10% for entries with MORE than 36 bytes of client data"
+        assert overhead / (37 + overhead) < 0.10
+
+    def test_timestamped_header_is_10_bytes(self):
+        entry = LogEntry(logfile_id=5, data=b"", timestamp=123)
+        assert entry.form is HeaderForm.TIMESTAMPED
+        assert entry.header_size == 10
+
+    def test_full_header_is_14_bytes(self):
+        """Section 3.2's 'complete, 14-byte log entry header'."""
+        entry = LogEntry(logfile_id=5, data=b"", timestamp=123, client_seq=7)
+        assert entry.form is HeaderForm.FULL
+        assert entry.header_size == 14
+
+    def test_client_seq_requires_timestamp(self):
+        with pytest.raises(ValueError):
+            LogEntry(logfile_id=5, data=b"", client_seq=7)
+
+    def test_logfile_id_range_enforced(self):
+        LogEntry(logfile_id=MAX_LOGFILE_ID, data=b"")
+        with pytest.raises(ValueError):
+            LogEntry(logfile_id=MAX_LOGFILE_ID + 1, data=b"")
+        with pytest.raises(ValueError):
+            LogEntry(logfile_id=-1, data=b"")
+
+    def test_timestamp_64_bit_bound(self):
+        LogEntry(logfile_id=1, data=b"", timestamp=(1 << 64) - 1)
+        with pytest.raises(ValueError):
+            LogEntry(logfile_id=1, data=b"", timestamp=1 << 64)
+
+    def test_record_size(self):
+        entry = LogEntry(logfile_id=1, data=b"abcde", timestamp=9)
+        assert entry.record_size == 10 + 5
+
+
+class TestCodec:
+    def test_minimal_roundtrip(self):
+        entry = LogEntry(logfile_id=42, data=b"hello")
+        decoded = decode_record(entry.encode())
+        assert decoded.entry == entry
+        assert decoded.record_size == entry.record_size
+
+    def test_full_roundtrip(self):
+        entry = LogEntry(
+            logfile_id=4095, data=b"payload", timestamp=(1 << 63), client_seq=99
+        )
+        assert decode_record(entry.encode()).entry == entry
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(CorruptRecord):
+            decode_record(b"")
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(CorruptRecord):
+            decode_record(b"\xf0\x01rest")
+
+    def test_zero_version_rejected(self):
+        with pytest.raises(CorruptRecord):
+            decode_record(b"\x00\x01rest")
+
+    def test_truncated_header_rejected(self):
+        entry = LogEntry(logfile_id=1, data=b"", timestamp=5)
+        with pytest.raises(CorruptRecord):
+            decode_record(entry.encode()[:6])
+
+    @given(
+        logfile_id=st.integers(min_value=0, max_value=MAX_LOGFILE_ID),
+        data=st.binary(max_size=200),
+        timestamp=st.one_of(st.none(), st.integers(min_value=0, max_value=(1 << 64) - 1)),
+        seq=st.one_of(st.none(), st.integers(min_value=0, max_value=(1 << 32) - 1)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, logfile_id, data, timestamp, seq):
+        if seq is not None and timestamp is None:
+            timestamp = 0
+        entry = LogEntry(
+            logfile_id=logfile_id, data=data, timestamp=timestamp, client_seq=seq
+        )
+        decoded = decode_record(entry.encode())
+        assert decoded.entry == entry

@@ -1,0 +1,308 @@
+"""Tests for the entrymap: record codec, accumulators, and the degree-N
+tree search (validated against a brute-force oracle)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entrymap import (
+    EntrymapRecord,
+    EntrymapSearch,
+    EntrymapState,
+    SearchStats,
+    max_level_for,
+)
+from repro.core.ids import ENTRYMAP_ID, VOLUME_SEQUENCE_ID
+
+
+class SimulatedVolume:
+    """Drives an EntrymapState the way the writer would, block by block,
+    and retains everything needed to answer fetch/scan callbacks."""
+
+    def __init__(self, degree, capacity):
+        self.state = EntrymapState(degree, capacity)
+        self.records = {}  # (level, boundary) -> EntrymapRecord
+        self.memberships = []  # per block: frozenset of logfile ids
+
+    def write_block(self, logfile_ids):
+        block = len(self.memberships)
+        for level, boundary in self.state.entries_due(block):
+            self.records[(level, boundary)] = self.state.emit(level, boundary)
+        self.memberships.append(frozenset(logfile_ids))
+        self.state.note_membership(block, logfile_ids)
+
+    def fetch(self, level, boundary):
+        return self.records.get((level, boundary))
+
+    def scan(self, block):
+        if 0 <= block < len(self.memberships):
+            return self.memberships[block]
+        return frozenset()
+
+    def search(self):
+        return EntrymapSearch(self.state, self.fetch, self.scan)
+
+    def brute_prev(self, logfile_id, before):
+        for block in range(min(before, len(self.memberships)) - 1, -1, -1):
+            if logfile_id in self.memberships[block]:
+                return block
+        return None
+
+    def brute_next(self, logfile_id, start, limit):
+        for block in range(max(0, start), min(limit, len(self.memberships))):
+            if logfile_id in self.memberships[block]:
+                return block
+        return None
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        record = EntrymapRecord(
+            level=2, degree=16, cover_start=256, bitmaps={8: 0b1010, 9: 1}
+        )
+        assert EntrymapRecord.decode(record.encode()) == record
+
+    def test_empty_bitmaps_roundtrip(self):
+        record = EntrymapRecord(level=1, degree=4, cover_start=0, bitmaps={})
+        assert EntrymapRecord.decode(record.encode()) == record
+
+    def test_geometry_properties(self):
+        record = EntrymapRecord(level=3, degree=4, cover_start=64, bitmaps={})
+        assert record.granule == 16
+        assert record.span == 64
+        assert record.cover_end == 128
+
+    def test_truncated_rejected(self):
+        record = EntrymapRecord(level=1, degree=16, cover_start=0, bitmaps={8: 1})
+        with pytest.raises(ValueError):
+            EntrymapRecord.decode(record.encode()[:-1])
+
+    def test_bad_level_rejected(self):
+        payload = EntrymapRecord(level=1, degree=4, cover_start=0, bitmaps={}).encode()
+        with pytest.raises(ValueError):
+            EntrymapRecord.decode(b"\x00" + payload[1:])
+
+    def test_wide_degree_bitmap(self):
+        record = EntrymapRecord(
+            level=1, degree=128, cover_start=0, bitmaps={8: (1 << 127) | 1}
+        )
+        assert EntrymapRecord.decode(record.encode()) == record
+
+
+class TestMaxLevel:
+    @pytest.mark.parametrize(
+        "degree,capacity,expected",
+        [(4, 3, 0), (4, 4, 1), (4, 15, 1), (4, 16, 2), (4, 64, 3), (16, 4096, 3)],
+    )
+    def test_levels(self, degree, capacity, expected):
+        assert max_level_for(degree, capacity) == expected
+
+
+class TestStateEmission:
+    def test_level1_due_every_n_blocks(self):
+        vol = SimulatedVolume(degree=4, capacity=64)
+        for _ in range(9):
+            vol.write_block({8})
+        assert (1, 4) in vol.records
+        assert (1, 8) in vol.records
+        assert (1, 12) not in vol.records
+
+    def test_level1_bitmap_contents(self):
+        vol = SimulatedVolume(degree=4, capacity=64)
+        memberships = [{8}, set(), {9}, {8, 9}]
+        for m in memberships:
+            vol.write_block(m)
+        vol.write_block(set())  # opens block 4, emitting the level-1 entry
+        record = vol.records[(1, 4)]
+        assert record.bitmaps[8] == 0b1001
+        assert record.bitmaps[9] == 0b1100
+        assert record.cover_start == 0
+
+    def test_untracked_ids_get_no_bitmaps(self):
+        vol = SimulatedVolume(degree=4, capacity=64)
+        for _ in range(4):
+            vol.write_block({VOLUME_SEQUENCE_ID, ENTRYMAP_ID, 8})
+        vol.write_block(set())
+        record = vol.records[(1, 4)]
+        assert set(record.bitmaps) == {8}
+
+    def test_level2_folds_level1_groups(self):
+        vol = SimulatedVolume(degree=4, capacity=256)
+        # 16 blocks: logfile 8 only in block 2 (group 0) and block 13 (group 3).
+        for block in range(16):
+            vol.write_block({8} if block in (2, 13) else set())
+        vol.write_block(set())  # opens block 16: emits level-1@16 and level-2@16
+        level2 = vol.records[(2, 16)]
+        assert level2.bitmaps[8] == 0b1001
+
+    def test_figure2_example(self):
+        """Figure 2: N=4, 16 blocks, one log file with entries in blocks
+        3, 5, 6, 12, 15 (the shaded blocks); level-1 bitmaps 0001/0110/
+        0000/1001 bottom-up, level-2 bitmap 1011."""
+        vol = SimulatedVolume(degree=4, capacity=256)
+        shaded = {3, 5, 6, 12, 15}
+        for block in range(16):
+            vol.write_block({8} if block in shaded else set())
+        vol.write_block(set())
+        # Level 1, reading each group's bitmap (LSB = first block of group).
+        assert vol.records[(1, 4)].bitmaps[8] == 0b1000   # block 3
+        assert vol.records[(1, 8)].bitmaps[8] == 0b0110   # blocks 5, 6
+        assert vol.records[(1, 12)].bitmaps.get(8, 0) == 0
+        assert vol.records[(1, 16)].bitmaps[8] == 0b1001  # blocks 12, 15
+        assert vol.records[(2, 16)].bitmaps[8] == 0b1011  # groups 0, 1, 3
+
+    def test_emit_out_of_order_rejected(self):
+        state = EntrymapState(4, 64)
+        with pytest.raises(ValueError):
+            state.emit(1, 8)  # level-1 at 4 must come first
+
+    def test_entries_due_after_skip(self):
+        """If invalidated blocks force the append point past a boundary,
+        the entry is still due (and still covers its nominal range)."""
+        state = EntrymapState(4, 64)
+        due = state.entries_due(9)  # opening block 9 straight away
+        assert (1, 4) in due and (1, 8) in due
+
+    def test_entries_due_ascending_levels_at_shared_boundary(self):
+        state = EntrymapState(4, 256)
+        for block in range(16):
+            for level, boundary in state.entries_due(block):
+                state.emit(level, boundary)
+            state.note_membership(block, {8})
+        due = state.entries_due(16)
+        assert due == [(1, 16), (2, 16)]
+
+    def test_tiny_volume_has_no_levels(self):
+        state = EntrymapState(16, 10)
+        assert state.max_level == 0
+        state.note_membership(0, {8})  # must not blow up
+        assert state.entries_due(5) == []
+
+
+class TestSearch:
+    def make_volume(self, degree=4, pattern=None, blocks=40):
+        vol = SimulatedVolume(degree=degree, capacity=degree**4)
+        pattern = pattern or {}
+        for block in range(blocks):
+            vol.write_block(pattern.get(block, set()))
+        return vol
+
+    def test_prev_finds_nearest(self):
+        vol = self.make_volume(pattern={3: {8}, 10: {8}, 30: {8}}, blocks=40)
+        search = vol.search()
+        assert search.locate_prev(8, 40) == 30
+        assert search.locate_prev(8, 30) == 10
+        assert search.locate_prev(8, 10) == 3
+        assert search.locate_prev(8, 3) is None
+
+    def test_prev_within_accumulator_region(self):
+        vol = self.make_volume(pattern={38: {8}}, blocks=40)
+        stats = SearchStats()
+        assert vol.search().locate_prev(8, 40, stats) == 38
+        assert stats.entrymap_entries_examined == 0
+        assert stats.accumulator_examinations >= 1
+
+    def test_next_finds_nearest(self):
+        vol = self.make_volume(pattern={3: {8}, 10: {8}, 30: {8}}, blocks=40)
+        search = vol.search()
+        assert search.locate_next(8, 0, 40) == 3
+        assert search.locate_next(8, 4, 40) == 10
+        assert search.locate_next(8, 11, 40) == 30
+        assert search.locate_next(8, 31, 40) is None
+
+    def test_next_respects_limit(self):
+        vol = self.make_volume(pattern={30: {8}}, blocks=40)
+        assert vol.search().locate_next(8, 0, 30) is None
+
+    def test_unknown_logfile_finds_nothing(self):
+        vol = self.make_volume(pattern={3: {8}}, blocks=40)
+        assert vol.search().locate_prev(99, 40) is None
+        assert vol.search().locate_next(99, 0, 40) is None
+
+    def test_aligned_power_distance_examines_2k_minus_1(self):
+        """Table 1's count: locating an entry N^k blocks back from an
+        N^k-aligned position examines 2k-1 written entrymap entries."""
+        degree = 4
+        for k in (1, 2, 3):
+            distance = degree**k
+            vol = SimulatedVolume(degree=degree, capacity=degree**5)
+            vol.write_block({8})  # block 0 holds the target
+            for _ in range(distance):
+                vol.write_block(set())
+            # Block `distance` has been opened, so the entrymap entries at
+            # that boundary are on the device; search from the boundary.
+            stats = SearchStats()
+            found = vol.search().locate_prev(8, distance, stats)
+            assert found == 0
+            assert stats.entrymap_entries_examined == 2 * k - 1
+
+    def test_missing_entrymap_falls_back_to_scan(self):
+        vol = self.make_volume(pattern={2: {8}}, blocks=40)
+        # Sabotage: delete all level-1 records, forcing direct block scans.
+        sabotaged = {k: v for k, v in vol.records.items() if k[0] != 1}
+        search = EntrymapSearch(
+            vol.state, lambda lvl, b: sabotaged.get((lvl, b)), vol.scan
+        )
+        stats = SearchStats()
+        assert search.locate_prev(8, 40, stats) == 2
+        assert stats.fallback_blocks_scanned > 0
+
+    def test_fully_missing_entrymap_still_correct(self):
+        vol = self.make_volume(pattern={2: {8}, 17: {9}}, blocks=40)
+        search = EntrymapSearch(vol.state, lambda lvl, b: None, vol.scan)
+        assert search.locate_prev(8, 40) == 2
+        assert search.locate_next(9, 0, 40) == 17
+
+    def test_tiny_volume_scan_only(self):
+        vol = SimulatedVolume(degree=16, capacity=10)
+        for block in range(8):
+            vol.write_block({8} if block == 5 else set())
+        assert vol.search().locate_prev(8, 8) == 5
+        assert vol.search().locate_next(8, 0, 8) == 5
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the tree search agrees with brute force on random logs.
+# ---------------------------------------------------------------------------
+
+membership_patterns = st.lists(
+    st.sets(st.sampled_from([8, 9, 10]), max_size=2), min_size=1, max_size=120
+)
+
+
+class TestSearchProperties:
+    @given(membership_patterns, st.sampled_from([2, 4, 8]), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_prev_matches_brute_force(self, pattern, degree, data):
+        vol = SimulatedVolume(degree=degree, capacity=degree**4)
+        for members in pattern:
+            vol.write_block(members)
+        search = vol.search()
+        before = data.draw(st.integers(min_value=0, max_value=len(pattern)))
+        logfile_id = data.draw(st.sampled_from([8, 9, 10]))
+        assert search.locate_prev(logfile_id, before) == vol.brute_prev(
+            logfile_id, before
+        )
+
+    @given(membership_patterns, st.sampled_from([2, 4, 8]), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_next_matches_brute_force(self, pattern, degree, data):
+        vol = SimulatedVolume(degree=degree, capacity=degree**4)
+        for members in pattern:
+            vol.write_block(members)
+        search = vol.search()
+        start = data.draw(st.integers(min_value=0, max_value=len(pattern)))
+        logfile_id = data.draw(st.sampled_from([8, 9, 10]))
+        assert search.locate_next(logfile_id, start, len(pattern)) == vol.brute_next(
+            logfile_id, start, len(pattern)
+        )
+
+    @given(membership_patterns, st.sampled_from([4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_search_without_entrymap_matches_brute_force(self, pattern, degree):
+        """Entrymap data is 'not needed for correctness' — kill all of it."""
+        vol = SimulatedVolume(degree=degree, capacity=degree**4)
+        for members in pattern:
+            vol.write_block(members)
+        search = EntrymapSearch(vol.state, lambda lvl, b: None, vol.scan)
+        assert search.locate_prev(8, len(pattern)) == vol.brute_prev(8, len(pattern))

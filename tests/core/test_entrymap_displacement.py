@@ -1,0 +1,94 @@
+"""Tests for entrymap record displacement: deferred emission pushes a
+record past its well-known home, and the relocation window / fallback keep
+everything correct (with fsck flagging excessive displacement)."""
+
+import pytest
+
+from repro.core import LogService
+from repro.core.fsck import check_service
+from repro.core.ids import ENTRYMAP_ID
+
+
+def make_service(**kwargs):
+    defaults = dict(
+        block_size=256, degree_n=4, volume_capacity_blocks=4096
+    )
+    defaults.update(kwargs)
+    return LogService.create(**defaults)
+
+
+def entrymap_positions(service):
+    """(block, cover_end) of every complete entrymap record on media."""
+    from repro.core.entrymap import EntrymapRecord
+
+    reader = service.reader
+    positions = []
+    for g in range(reader.global_extent()):
+        parsed = reader.read_parsed_global(g)
+        if parsed is None:
+            continue
+        for slot in parsed.entry_start_slots():
+            header = reader.entry_header_at(parsed, slot)
+            if (
+                header is not None
+                and header.logfile_id == ENTRYMAP_ID
+                and parsed.is_complete(slot)
+            ):
+                record = EntrymapRecord.decode(header.data)
+                positions.append((g, record.cover_end, record.level))
+    return positions
+
+
+class TestDisplacement:
+    def test_small_displacement_within_window(self):
+        """A short continuation crossing a boundary defers the boundary's
+        record by a block or two — inside the default window."""
+        service = make_service()
+        log = service.create_log_file("/app")
+        # Fill to just before boundary 4, then a 2-block entry across it.
+        log.append(b"x" * 180, force=True)
+        log.append(b"y" * 180, force=True)
+        log.append(b"z" * 180, force=True)
+        log.append(b"B" * 500)  # crosses the boundary at block 4
+        log.append(b"after")
+        for block, cover_end, level in entrymap_positions(service):
+            assert 0 <= block - cover_end < 4, (block, cover_end)
+        report = check_service(service)
+        assert not [f for f in report.findings if "displaced" in f.message]
+
+    def test_huge_entry_displaces_record_beyond_window(self):
+        """An entry spanning many blocks defers the boundary record far
+        past its home; reads must stay correct via the fallback, and fsck
+        must flag the displacement."""
+        service = make_service()
+        marker = service.create_log_file("/marker")
+        big = service.create_log_file("/big")
+        marker.append(b"M" * 100, force=True)
+        # ~12 blocks of continuation straddling the boundary at block 4.
+        big.append(b"B" * 3000)
+        marker.append(b"N" * 50)
+        displaced = [
+            (block, cover_end)
+            for block, cover_end, level in entrymap_positions(service)
+            if block - cover_end >= 4
+        ]
+        assert displaced, "expected at least one displaced entrymap record"
+        # Reads remain correct despite the displacement.
+        assert [e.data[:1] for e in marker.entries()] == [b"M", b"N"]
+        assert [len(e.data) for e in big.entries()] == [3000]
+        # fsck reports the displacement as a warning, not an error.
+        report = check_service(service)
+        assert any("displaced" in f.message for f in report.warnings)
+        assert report.clean
+
+    def test_recovery_with_displaced_records(self):
+        service = make_service()
+        marker = service.create_log_file("/marker")
+        big = service.create_log_file("/big")
+        marker.append(b"M" * 100, force=True)
+        big.append(b"B" * 3000, force=True)
+        marker.append(b"N" * 50, force=True)
+        remains = service.crash()
+        mounted, _ = LogService.mount(remains.devices, remains.nvram)
+        assert [len(e.data) for e in mounted.open_log_file("/big").entries()] == [3000]
+        assert len(list(mounted.open_log_file("/marker").entries())) == 2

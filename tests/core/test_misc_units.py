@@ -1,0 +1,123 @@
+"""Focused micro-tests for small surfaces not covered elsewhere."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.block import BlockBuilder
+from repro.core.entry import LogEntry
+from repro.core.ids import ClientEntryId, EntryId, EntryLocation
+from repro.core.reader import ReadStats
+from repro.core.recovery import (
+    decode_corrupted_block_record,
+    encode_corrupted_block_record,
+)
+from repro.core.writer import AppendResult
+from repro.worm.device import DeviceStats
+from repro.worm.geometry import MAGNETIC_DISK, OPTICAL_DISK
+
+
+class TestIds:
+    def test_entry_id_ordering(self):
+        assert EntryId(1) < EntryId(2)
+        assert sorted([EntryId(5), EntryId(1)]) == [EntryId(1), EntryId(5)]
+
+    def test_entry_id_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EntryId(-1)
+
+    def test_client_entry_id_bounds(self):
+        ClientEntryId(sequence_number=(1 << 32) - 1, client_timestamp=0)
+        with pytest.raises(ValueError):
+            ClientEntryId(sequence_number=1 << 32, client_timestamp=0)
+        with pytest.raises(ValueError):
+            ClientEntryId(sequence_number=1, client_timestamp=-1)
+
+    def test_entry_location_validation(self):
+        with pytest.raises(ValueError):
+            EntryLocation(global_block=-1, slot=0)
+        with pytest.raises(ValueError):
+            EntryLocation(global_block=0, slot=-1)
+
+    def test_entry_location_ordering(self):
+        a = EntryLocation(global_block=1, slot=5)
+        b = EntryLocation(global_block=2, slot=0)
+        assert a < b
+
+
+class TestAppendResult:
+    def test_entry_id_none_for_untimestamped(self):
+        result = AppendResult(
+            location=EntryLocation(global_block=0, slot=0), timestamp=None
+        )
+        assert result.entry_id is None
+
+    def test_entry_id_wraps_timestamp(self):
+        result = AppendResult(
+            location=EntryLocation(global_block=0, slot=0), timestamp=42
+        )
+        assert result.entry_id == EntryId(42)
+
+
+class TestStatsDeltas:
+    def test_device_stats_delta(self):
+        stats = DeviceStats(reads=10, writes=5, busy_ms=3.0)
+        earlier = DeviceStats(reads=4, writes=5, busy_ms=1.0)
+        delta = stats.delta(earlier)
+        assert delta.reads == 6
+        assert delta.writes == 0
+        assert delta.busy_ms == pytest.approx(2.0)
+
+    def test_read_stats_delta_includes_search(self):
+        stats = ReadStats()
+        stats.block_accesses = 7
+        stats.search.entrymap_entries_examined = 3
+        earlier = stats.snapshot()
+        stats.block_accesses = 10
+        stats.search.entrymap_entries_examined = 5
+        delta = stats.delta(earlier)
+        assert delta.block_accesses == 3
+        assert delta.search.entrymap_entries_examined == 2
+
+
+class TestBuilderCapacity:
+    def test_fits_whole(self):
+        builder = BlockBuilder(128)
+        assert builder.fits_whole(50)
+        assert not builder.fits_whole(1000)
+
+    def test_free_bytes_shrinks_per_fragment_slot(self):
+        builder = BlockBuilder(128)
+        before = builder.free_bytes
+        record = LogEntry(logfile_id=8, data=b"abc").encode()
+        builder.add_record(record, 2)
+        # Record bytes plus one 2-byte index slot.
+        assert builder.free_bytes == before - len(record) - 2
+
+    def test_block_size_index_limit(self):
+        with pytest.raises(ValueError):
+            BlockBuilder(1 << 17)  # does not fit the 16-bit size index
+
+
+class TestCorruptedBlockRecordCodec:
+    @given(
+        volume=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        block=st.integers(min_value=0, max_value=(1 << 40)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, volume, block):
+        payload = encode_corrupted_block_record(volume, block)
+        assert decode_corrupted_block_record(payload) == (volume, block)
+
+
+class TestGeometryComposition:
+    def test_access_includes_all_terms(self):
+        g = MAGNETIC_DISK
+        access = g.access_ms(0, 1000)
+        assert access == pytest.approx(
+            g.seek_ms(0, 1000) + g.rotational_latency_ms + g.transfer_ms_per_block
+        )
+
+    def test_optical_slower_than_magnetic_for_same_pattern(self):
+        far = 400_000
+        assert OPTICAL_DISK.access_ms(0, far) > MAGNETIC_DISK.access_ms(0, far)

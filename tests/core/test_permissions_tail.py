@@ -1,0 +1,97 @@
+"""Tests for permission enforcement and the tail() convenience API."""
+
+import pytest
+
+from repro.core import LogService
+
+
+def make_service(**kwargs):
+    defaults = dict(block_size=256, degree_n=4, volume_capacity_blocks=1024)
+    defaults.update(kwargs)
+    return LogService.create(**defaults)
+
+
+class TestTail:
+    def test_tail_returns_newest_oldest_first(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        for i in range(20):
+            log.append(f"{i}".encode())
+        tail = log.tail(5)
+        assert [e.data for e in tail] == [b"15", b"16", b"17", b"18", b"19"]
+
+    def test_tail_larger_than_log(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        log.append(b"only")
+        assert [e.data for e in log.tail(10)] == [b"only"]
+
+    def test_tail_zero(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        log.append(b"x")
+        assert log.tail(0) == []
+
+    def test_tail_negative_rejected(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        with pytest.raises(ValueError):
+            log.tail(-1)
+
+    def test_tail_includes_sublogs(self):
+        service = make_service()
+        mail = service.create_log_file("/mail")
+        smith = mail.create_sublog("smith")
+        smith.append(b"sub entry")
+        assert [e.data for e in mail.tail(1)] == [b"sub entry"]
+
+
+class TestPermissions:
+    def test_unenforced_by_default(self):
+        service = make_service()
+        log = service.create_log_file("/locked", permissions=0o000)
+        log.append(b"allowed anyway")
+        assert len(list(log.entries())) == 1
+
+    def test_append_requires_write_bit(self):
+        service = make_service(enforce_permissions=True)
+        log = service.create_log_file("/readonly", permissions=0o444)
+        with pytest.raises(PermissionError):
+            log.append(b"nope")
+
+    def test_read_requires_read_bit(self):
+        service = make_service(enforce_permissions=True)
+        log = service.create_log_file("/writeonly", permissions=0o200)
+        log.append(b"recorded")
+        with pytest.raises(PermissionError):
+            list(log.entries())
+
+    def test_read_write_mode_allows_both(self):
+        service = make_service(enforce_permissions=True)
+        log = service.create_log_file("/open", permissions=0o644)
+        log.append(b"fine")
+        assert [e.data for e in log.entries()] == [b"fine"]
+
+    def test_set_permissions_takes_effect(self):
+        service = make_service(enforce_permissions=True)
+        log = service.create_log_file("/app", permissions=0o644)
+        log.append(b"before lock")
+        service.set_permissions(log, 0o444)
+        with pytest.raises(PermissionError):
+            log.append(b"after lock")
+        assert len(list(log.entries())) == 1  # still readable
+
+    def test_permission_change_survives_crash(self):
+        """The change is a catalog record, so it is part of the history."""
+        service = make_service(enforce_permissions=True)
+        log = service.create_log_file("/app", permissions=0o644)
+        service.set_permissions(log, 0o400)
+        remains = service.crash()
+        mounted, _ = LogService.mount(remains.devices, remains.nvram)
+        assert mounted.store.catalog.info(log.logfile_id).permissions == 0o400
+
+    def test_mode_attribute_visible(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        service.set_permissions(log, 0o600)
+        assert service.store.catalog.info(log.logfile_id).permissions == 0o600

@@ -1,0 +1,164 @@
+"""Direct tests for the timestamp search (Section 2.1's time-based access)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LogService
+
+
+def make_service(**kwargs):
+    defaults = dict(block_size=256, degree_n=4, volume_capacity_blocks=2048)
+    defaults.update(kwargs)
+    return LogService.create(**defaults)
+
+
+def fill(service, log, count, size=40, gap_ms=1.0):
+    stamps = []
+    for i in range(count):
+        service.clock.advance_ms(gap_ms)
+        stamps.append(log.append(f"{i:05d}".encode().ljust(size, b".")).timestamp)
+    return stamps
+
+
+class TestBlockFirstTimestamp:
+    def test_first_block_timestamp(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        stamps = fill(service, log, 1)
+        catalog_first = service.time_index.block_first_timestamp(0)
+        # Block 0 starts with the catalog CREATE record, stamped earlier.
+        assert catalog_first is not None
+        assert catalog_first <= stamps[0]
+
+    def test_unwritten_block_is_none(self):
+        service = make_service()
+        assert service.time_index.block_first_timestamp(5) is None
+
+    def test_pure_middle_block_is_none(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        log.append(b"Z" * 1000)  # spans several 256-byte blocks
+        # Find a block with no entry start (pure middle of the big entry).
+        found_middle = False
+        for g in range(service.reader.global_extent()):
+            parsed = service.reader.read_parsed_global(g)
+            if parsed is not None and parsed.is_pure_middle:
+                assert service.time_index.block_first_timestamp(g) is None
+                found_middle = True
+        assert found_middle
+
+    def test_first_timestamps_nondecreasing(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        fill(service, log, 200)
+        previous = -1
+        for g in range(service.reader.global_extent()):
+            ts = service.time_index.block_first_timestamp(g)
+            if ts is not None:
+                assert ts >= previous
+                previous = ts
+
+
+class TestLocateBlock:
+    def test_before_log_start_is_none(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        fill(service, log, 10)
+        assert service.time_index.locate_block(0) is None
+
+    def test_after_log_end_is_last_block(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        fill(service, log, 50)
+        far_future = service.clock.now_us + 10**9
+        block = service.time_index.locate_block(far_future)
+        assert block is not None
+        # The located block is at (or adjacent to) the tail.
+        assert block >= service.reader.global_extent() - 2
+
+    def test_locates_correct_block_for_every_entry(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        stamps = fill(service, log, 120)
+        index = service.time_index
+        for i in (0, 1, 37, 60, 119):
+            block = index.locate_block(stamps[i])
+            first = index.block_first_timestamp(block)
+            assert first is not None and first <= stamps[i]
+            next_first = None
+            for g in range(block + 1, service.reader.global_extent()):
+                next_first = index.block_first_timestamp(g)
+                if next_first is not None:
+                    break
+            if next_first is not None:
+                assert stamps[i] < next_first or block + 1 >= service.reader.global_extent()
+
+    def test_empty_log(self):
+        service = make_service()
+        assert service.time_index.locate_block(123) is None
+
+
+class TestLocateEntry:
+    def test_every_entry_resolvable(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        stamps = fill(service, log, 80)
+        for i in (0, 13, 42, 79):
+            position = service.time_index.locate_entry(log.logfile_id, stamps[i])
+            assert position is not None
+            from repro.core.ids import EntryLocation
+
+            entry = service.reader.entry_at(
+                EntryLocation(global_block=position[0], slot=position[1])
+            )
+            assert entry.data.startswith(f"{i:05d}".encode())
+
+    def test_nonexistent_timestamp_is_none(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        stamps = fill(service, log, 10)
+        assert service.time_index.locate_entry(log.logfile_id, stamps[4] + 1) is None
+
+    def test_wrong_logfile_is_none(self):
+        service = make_service()
+        a = service.create_log_file("/a")
+        b = service.create_log_file("/b")
+        stamp = a.append(b"only in a").timestamp
+        assert service.time_index.locate_entry(b.logfile_id, stamp) is None
+
+
+class TestPositionAfter:
+    def test_position_after_last_is_extent(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        stamps = fill(service, log, 10)
+        block, slot = service.time_index.locate_position_after(
+            log.logfile_id, stamps[-1]
+        )
+        assert block == service.reader.global_extent()
+
+    def test_position_partitions_log(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        stamps = fill(service, log, 60)
+        cut = stamps[30]
+        after = [e.data for e in log.entries(since=cut + 1)]
+        assert len(after) == 29
+        assert after[0].startswith(b"00031")
+
+
+class TestTimeSearchProperties:
+    @given(
+        count=st.integers(min_value=1, max_value=60),
+        probe_at=st.integers(min_value=0, max_value=59),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_since_query_returns_suffix(self, count, probe_at):
+        probe_at = min(probe_at, count - 1)
+        service = make_service()
+        log = service.create_log_file("/app")
+        stamps = fill(service, log, count, gap_ms=0.5)
+        got = [e.data for e in log.entries(since=stamps[probe_at])]
+        assert len(got) == count - probe_at
+        assert got[0].startswith(f"{probe_at:05d}".encode())

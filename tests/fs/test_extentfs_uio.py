@@ -1,0 +1,178 @@
+"""Tests for the extent-based file system and the uniform I/O layer."""
+
+import pytest
+
+from repro.cache import BlockCache
+from repro.core import LogService
+from repro.fs import (
+    ExtentFileSystem,
+    FileSystem,
+    FsError,
+    LogFileUio,
+    RegularFileUio,
+    UioError,
+    uio_copy,
+    uio_lines,
+)
+from repro.worm import RewritableDevice
+
+BS = 256
+
+
+def make_extfs(capacity=2048):
+    device = RewritableDevice(block_size=BS, capacity_blocks=capacity)
+    return ExtentFileSystem.format(device)
+
+
+class TestExtentFs:
+    def test_write_read_roundtrip(self):
+        fs = make_extfs()
+        f = fs.create("log")
+        payload = b"abcdefgh" * 200
+        fs.append(f, payload)
+        assert fs.read_at(f, 0, len(payload)) == payload
+
+    def test_single_writer_stays_one_extent(self):
+        fs = make_extfs()
+        f = fs.create("grow")
+        for _ in range(50):
+            fs.append(f, b"x" * BS)
+        assert f.extent_count == 1
+
+    def test_interleaved_growth_fragments(self):
+        """The intro's claim: interleaved growing files shatter into many
+        extents because each addition lands discontiguously."""
+        fs = make_extfs(capacity=4096)
+        a = fs.create("a")
+        b = fs.create("b")
+        for _ in range(40):
+            fs.append(a, b"A" * BS)
+            fs.append(b, b"B" * BS)
+        assert a.extent_count > 10
+        assert b.extent_count > 10
+
+    def test_fragmented_file_reads_correctly(self):
+        fs = make_extfs(capacity=4096)
+        a = fs.create("a")
+        b = fs.create("b")
+        for i in range(30):
+            fs.append(a, bytes([i]) * BS)
+            fs.append(b, bytes([255 - i]) * BS)
+        expected = b"".join(bytes([i]) * BS for i in range(30))
+        assert fs.read_at(a, 0, len(expected)) == expected
+
+    def test_unlink_frees_blocks(self):
+        fs = make_extfs()
+        f = fs.create("f")
+        fs.append(f, b"x" * BS * 10)
+        free_before = fs.allocator.free_blocks
+        fs.unlink("f")
+        assert fs.allocator.free_blocks == free_before + 10
+        with pytest.raises(FsError):
+            fs.open("f")
+
+    def test_duplicate_create_rejected(self):
+        fs = make_extfs()
+        fs.create("f")
+        with pytest.raises(FsError):
+            fs.create("f")
+
+
+class TestUio:
+    def make_pair(self):
+        device = RewritableDevice(block_size=BS, capacity_blocks=2048)
+        fs = FileSystem.format(device, cache=BlockCache(256), inode_count=16)
+        service = LogService.create(
+            block_size=BS, degree_n=4, volume_capacity_blocks=1024
+        )
+        return fs, service
+
+    def test_copy_regular_to_log(self):
+        fs, service = self.make_pair()
+        src = fs.create("/data")
+        src.write(b"chunk-one" * 10)
+        log = service.create_log_file("/archive")
+        count = uio_copy(RegularFileUio(fs.open("/data")), LogFileUio(log))
+        assert count >= 1
+        logged = b"".join(e.data for e in log.entries())
+        assert logged == b"chunk-one" * 10
+
+    def test_copy_log_to_regular(self):
+        fs, service = self.make_pair()
+        log = service.create_log_file("/events")
+        for i in range(5):
+            log.append(f"event-{i}\n".encode())
+        dst = fs.create("/extract")
+        uio_copy(LogFileUio(log), RegularFileUio(dst))
+        content = fs.open("/extract").read()
+        assert content == b"".join(f"event-{i}\n".encode() for i in range(5))
+
+    def test_copy_log_to_log(self):
+        _, service = self.make_pair()
+        src = service.create_log_file("/src")
+        dst = service.create_log_file("/dst")
+        for i in range(4):
+            src.append(f"{i}".encode())
+        assert uio_copy(LogFileUio(src), LogFileUio(dst)) == 4
+        assert [e.data for e in dst.entries()] == [b"0", b"1", b"2", b"3"]
+
+    def test_log_records_preserve_entry_boundaries(self):
+        _, service = self.make_pair()
+        log = service.create_log_file("/records")
+        log.append(b"first")
+        log.append(b"")
+        log.append(b"third")
+        records = list(LogFileUio(log).records())
+        assert records == [b"first", b"", b"third"]
+
+    def test_uio_lines_over_log(self):
+        _, service = self.make_pair()
+        log = service.create_log_file("/lines")
+        log.append(b"alpha\nbe")
+        log.append(b"ta\ngamma")
+        assert list(uio_lines(LogFileUio(log))) == [b"alpha", b"beta", b"gamma"]
+
+    def test_seek_to_start_restarts_log_read(self):
+        _, service = self.make_pair()
+        log = service.create_log_file("/l")
+        log.append(b"x")
+        uio = LogFileUio(log)
+        assert uio.read_next() == b"x"
+        assert uio.read_next() == b""
+        uio.seek_to_start()
+        assert uio.read_next() == b"x"
+
+    def test_log_is_not_rewritable(self):
+        _, service = self.make_pair()
+        log = service.create_log_file("/l")
+        uio = LogFileUio(log)
+        assert uio.writable and not uio.rewritable
+
+    def test_copy_to_readonly_rejected(self):
+        class ReadOnly(LogFileUio):
+            writable = False
+
+        _, service = self.make_pair()
+        a = service.create_log_file("/a")
+        b = service.create_log_file("/b")
+        with pytest.raises(UioError):
+            uio_copy(LogFileUio(a), ReadOnly(b))
+
+    def test_shared_cache_between_fs_and_log_service(self):
+        """The paper's architecture: one buffer pool serves both file
+        types.  Regular-file blocks and log blocks coexist under
+        different namespaces in a single cache."""
+        shared = BlockCache(512)
+        device = RewritableDevice(block_size=BS, capacity_blocks=2048)
+        fs = FileSystem.format(device, cache=shared, inode_count=16)
+        service = LogService.create(
+            block_size=BS, degree_n=4, volume_capacity_blocks=1024
+        )
+        service.store.cache = shared  # adopt the shared pool
+        f = fs.create("/reg")
+        f.write(b"regular data")
+        log = service.create_log_file("/log")
+        log.append(b"logged data")
+        assert fs.open("/reg").read() == b"regular data"
+        assert [e.data for e in log.entries()] == [b"logged data"]
+        assert shared.stats.insertions > 0

@@ -1,0 +1,210 @@
+"""Tests for the conventional Unix-like file system substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import BlockCache
+from repro.fs import FileSystem, FsError
+from repro.worm import RewritableDevice
+
+BS = 256
+
+
+def make_fs(capacity=2048, inode_count=32, cache_blocks=512):
+    device = RewritableDevice(block_size=BS, capacity_blocks=capacity)
+    return FileSystem.format(
+        device, cache=BlockCache(cache_blocks), inode_count=inode_count
+    )
+
+
+class TestBasicFiles:
+    def test_create_write_read(self):
+        fs = make_fs()
+        f = fs.create("/hello.txt")
+        f.write(b"hello world")
+        g = fs.open("/hello.txt")
+        assert g.read() == b"hello world"
+
+    def test_write_past_block_boundary(self):
+        fs = make_fs()
+        f = fs.create("/big")
+        payload = bytes(range(256)) * 5  # 1280 bytes over 256-byte blocks
+        f.write(payload)
+        assert fs.open("/big").read() == payload
+
+    def test_overwrite_in_place(self):
+        fs = make_fs()
+        f = fs.create("/f")
+        f.write(b"AAAABBBBCCCC")
+        f.seek(4)
+        f.write(b"XXXX")
+        assert fs.open("/f").read() == b"AAAAXXXXCCCC"
+
+    def test_append_grows_file(self):
+        fs = make_fs()
+        f = fs.create("/f")
+        f.append(b"one")
+        f.append(b"two")
+        assert fs.open("/f").read() == b"onetwo"
+        assert f.size == 6
+
+    def test_sparse_hole_reads_zeros(self):
+        fs = make_fs()
+        f = fs.create("/sparse")
+        f.seek(BS * 3)
+        f.write(b"end")
+        data = fs.open("/sparse").read()
+        assert data[: BS * 3] == b"\x00" * (BS * 3)
+        assert data[BS * 3 :] == b"end"
+
+    def test_read_past_eof_empty(self):
+        fs = make_fs()
+        f = fs.create("/f")
+        f.write(b"xy")
+        f.seek(100)
+        assert f.read() == b""
+
+    def test_missing_file_raises(self):
+        fs = make_fs()
+        with pytest.raises(FsError):
+            fs.open("/nope")
+
+    def test_duplicate_create_raises(self):
+        fs = make_fs()
+        fs.create("/f")
+        with pytest.raises(FsError):
+            fs.create("/f")
+
+
+class TestDirectories:
+    def test_mkdir_and_nested_files(self):
+        fs = make_fs()
+        fs.mkdir("/home")
+        fs.mkdir("/home/user")
+        f = fs.create("/home/user/notes")
+        f.write(b"hi")
+        assert fs.open("/home/user/notes").read() == b"hi"
+        assert fs.listdir("/home") == ["user"]
+        assert fs.listdir("/home/user") == ["notes"]
+
+    def test_listdir_root(self):
+        fs = make_fs()
+        fs.create("/a")
+        fs.mkdir("/b")
+        assert fs.listdir("/") == ["a", "b"]
+
+    def test_unlink_file(self):
+        fs = make_fs()
+        f = fs.create("/f")
+        f.write(b"data" * 100)
+        free_before = fs.allocator.free_blocks
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        assert fs.allocator.free_blocks > free_before
+
+    def test_unlink_nonempty_dir_rejected(self):
+        fs = make_fs()
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        with pytest.raises(FsError):
+            fs.unlink("/d")
+
+    def test_file_as_directory_rejected(self):
+        fs = make_fs()
+        fs.create("/f")
+        with pytest.raises(FsError):
+            fs.create("/f/child")
+
+    def test_relative_path_rejected(self):
+        fs = make_fs()
+        with pytest.raises(FsError):
+            fs.create("not/absolute")
+
+
+class TestIndirectBlocks:
+    def test_file_spanning_indirect_blocks(self):
+        fs = make_fs(capacity=4096)
+        f = fs.create("/huge")
+        # 10 direct blocks + deep into the single-indirect range.
+        payload_blocks = 30
+        payload = b"".join(
+            bytes([i % 256]) * BS for i in range(payload_blocks)
+        )
+        f.write(payload)
+        assert fs.open("/huge").read() == payload
+
+    def test_indirect_reads_grow_with_offset(self):
+        """The intro's claim: tail blocks of big files cost more to reach."""
+        fs = make_fs(capacity=8192)
+        f = fs.create("/huge")
+        blocks = 80  # requires double-indirect with 64 pointers/block
+        for i in range(blocks):
+            f.append(bytes([i % 256]) * BS)
+        mapper = fs.mapper
+        before = mapper.indirect_reads
+        fs.read_at(f._inode, 0, BS)  # direct block: no indirect reads
+        direct_cost = mapper.indirect_reads - before
+        before = mapper.indirect_reads
+        fs.read_at(f._inode, (blocks - 1) * BS, BS)  # tail block
+        tail_cost = mapper.indirect_reads - before
+        assert direct_cost == 0
+        assert tail_cost >= 2  # double-indirect chain
+
+    def test_unlink_huge_file_frees_everything(self):
+        fs = make_fs(capacity=8192)
+        f = fs.create("/huge")
+        for i in range(80):
+            f.append(bytes([i % 256]) * BS)
+        fs.unlink("/huge")
+        g = fs.create("/again")
+        for i in range(80):
+            g.append(bytes([i % 256]) * BS)
+        assert fs.open("/again").size == 80 * BS
+
+
+class TestMount:
+    def test_mount_sees_synced_files(self):
+        device = RewritableDevice(block_size=BS, capacity_blocks=2048)
+        fs = FileSystem.format(device, inode_count=16)
+        f = fs.create("/persist")
+        f.write(b"still here")
+        fs.sync()
+        fs2 = FileSystem.mount(device)
+        assert fs2.open("/persist").read() == b"still here"
+
+    def test_mount_allocator_state(self):
+        device = RewritableDevice(block_size=BS, capacity_blocks=2048)
+        fs = FileSystem.format(device, inode_count=16)
+        f = fs.create("/f")
+        f.write(b"x" * BS * 4)
+        fs.sync()
+        fs2 = FileSystem.mount(device)
+        # Blocks allocated before the sync are not handed out again.
+        g = fs2.create("/g")
+        g.write(b"y" * BS * 4)
+        assert fs2.open("/f").read() == b"x" * BS * 4
+
+
+class TestFsProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2000), st.binary(min_size=1, max_size=600)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_writes_match_shadow(self, writes):
+        """Arbitrary write patterns agree with an in-memory shadow file."""
+        fs = make_fs(capacity=8192)
+        f = fs.create("/f")
+        shadow = bytearray()
+        for offset, data in writes:
+            f.seek(offset)
+            f.write(data)
+            if offset + len(data) > len(shadow):
+                shadow.extend(b"\x00" * (offset + len(data) - len(shadow)))
+            shadow[offset : offset + len(data)] = data
+        f.seek(0)
+        assert f.read() == bytes(shadow)

@@ -1,0 +1,64 @@
+"""CLI error paths and option handling."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCliErrors:
+    def test_append_without_data_errors(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["init", store, "--block-size", "256", "--capacity", "16"])
+        main(["create", store, "/x"])
+        assert main(["append", store, "/x"]) == 1
+        assert "provide DATA or --stdin" in capsys.readouterr().err
+
+    def test_create_duplicate_raises(self, tmp_path):
+        store = str(tmp_path / "store")
+        main(["init", store, "--block-size", "256", "--capacity", "16"])
+        main(["create", store, "/x"])
+        with pytest.raises(Exception):
+            main(["create", store, "/x"])
+
+    def test_cat_missing_log_raises(self, tmp_path):
+        store = str(tmp_path / "store")
+        main(["init", store, "--block-size", "256", "--capacity", "16"])
+        with pytest.raises(Exception):
+            main(["cat", store, "/nope"])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate", "/tmp/x"])
+
+    def test_cat_timestamps_flag(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["init", store, "--block-size", "256", "--capacity", "16"])
+        main(["create", store, "/t"])
+        main(["append", store, "/t", "stamped"])
+        capsys.readouterr()
+        main(["cat", store, "/t", "--timestamps"])
+        out = capsys.readouterr().out
+        assert out.startswith("[") and "stamped" in out
+
+    def test_cat_since_us(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["init", store, "--block-size", "256", "--capacity", "64"])
+        main(["create", store, "/t"])
+        main(["append", store, "/t", "early"])
+        # Learn the first entry's timestamp from --timestamps output.
+        capsys.readouterr()
+        main(["cat", store, "/t", "--timestamps"])
+        first_ts = int(capsys.readouterr().out.split("]")[0][1:])
+        main(["append", store, "/t", "late"])
+        capsys.readouterr()
+        main(["cat", store, "/t", "--since-us", str(first_ts + 1)])
+        out = capsys.readouterr().out
+        assert "late" in out and "early" not in out
+
+    def test_parser_help_lists_all_commands(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--help"])
+        out = capsys.readouterr().out
+        for command in ("init", "create", "ls", "append", "cat", "info", "fsck", "volumes"):
+            assert command in out

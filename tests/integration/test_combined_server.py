@@ -1,0 +1,112 @@
+"""Tests for the combined file/log server (Sections 3.1 and 6)."""
+
+import pytest
+
+from repro.combined import CombinedServer
+from repro.fs import uio_copy, uio_lines
+
+
+def make_server(**kwargs):
+    defaults = dict(
+        block_size=512,
+        disk_capacity_blocks=2048,
+        log_volume_capacity_blocks=2048,
+        degree_n=4,
+        cache_capacity_blocks=512,
+        inode_count=32,
+    )
+    defaults.update(kwargs)
+    return CombinedServer.create(**defaults)
+
+
+class TestNamespaces:
+    def test_regular_file_roundtrip(self):
+        server = make_server()
+        f = server.create_file("/notes.txt")
+        f.write(b"regular content")
+        assert server.open_file("/notes.txt").read() == b"regular content"
+
+    def test_log_file_roundtrip(self):
+        server = make_server()
+        log = server.create_file("/log/events")
+        log.append(b"event one")
+        entries = [e.data for e in server.open_file("/log/events").entries()]
+        assert entries == [b"event one"]
+
+    def test_exists_in_both_namespaces(self):
+        server = make_server()
+        server.create_file("/plain")
+        server.create_file("/log/audit")
+        assert server.exists("/plain")
+        assert server.exists("/log/audit")
+        assert not server.exists("/missing")
+        assert not server.exists("/log/missing")
+
+    def test_listdir_both(self):
+        server = make_server()
+        server.create_file("/a")
+        server.create_file("/log/x")
+        server.create_file("/log/y")
+        assert "a" in server.listdir("/")
+        assert server.listdir("/log") == ["x", "y"]
+
+    def test_shared_cache_holds_both_kinds(self):
+        server = make_server()
+        f = server.create_file("/reg")
+        f.write(b"data")
+        log = server.create_file("/log/l")
+        log.append(b"entry")
+        namespaces = {key[0] for key in server.cache._entries}
+        assert "fs" in namespaces and "log" in namespaces
+
+
+class TestUniformIo:
+    def test_uio_open_regular(self):
+        server = make_server()
+        uio = server.uio_open("/doc", create=True)
+        uio.write(b"through uio")
+        uio.seek_to_start()
+        assert uio.read_next() == b"through uio"
+
+    def test_uio_open_log(self):
+        server = make_server()
+        uio = server.uio_open("/log/stream", create=True)
+        uio.write(b"record-1")
+        uio.write(b"record-2")
+        assert list(uio.records()) == [b"record-1", b"record-2"]
+
+    def test_same_code_archives_file_into_log(self):
+        """Section 6's punchline: 'the same I/O and utility routines'
+        operate on both file types — copy a regular file into a log file
+        and back without type-specific code."""
+        server = make_server()
+        original = server.uio_open("/report", create=True)
+        original.write(b"line one\nline two\n")
+        original.seek_to_start()
+        archive = server.uio_open("/log/reports", create=True)
+        assert uio_copy(original, archive) >= 1
+
+        extracted = server.uio_open("/report.restored", create=True)
+        archive.seek_to_start()
+        uio_copy(archive, extracted)
+        restored = server.open_file("/report.restored").read()
+        assert restored == b"line one\nline two\n"
+
+    def test_uio_lines_over_either(self):
+        server = make_server()
+        regular = server.uio_open("/lines.txt", create=True)
+        regular.write(b"a\nb\nc")
+        regular.seek_to_start()
+        assert list(uio_lines(regular)) == [b"a", b"b", b"c"]
+        log = server.uio_open("/log/lines", create=True)
+        log.write(b"a\nb")
+        log.write(b"\nc")
+        log.seek_to_start()
+        assert list(uio_lines(log)) == [b"a", b"b", b"c"]
+
+    def test_append_only_discipline_preserved_through_uio(self):
+        server = make_server()
+        log_uio = server.uio_open("/log/l", create=True)
+        reg_uio = server.uio_open("/reg", create=True)
+        assert not log_uio.rewritable
+        assert reg_uio.rewritable

@@ -1,0 +1,93 @@
+"""Property tests over iteration semantics: forward/reverse equivalence,
+time-slicing against a shadow model, and mixed header forms — for
+arbitrary workloads including heavy fragmentation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import LogService
+
+workload = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # logfile
+        st.integers(min_value=0, max_value=900),  # size (fragments at 256B)
+        st.booleans(),  # timestamped?
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+prop_settings = settings(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def build(ops):
+    service = LogService.create(
+        block_size=256, degree_n=4, volume_capacity_blocks=64,
+        cache_capacity_blocks=256,
+    )
+    names = ["/x", "/y", "/z"]
+    logs = {n: service.create_log_file(n) for n in names}
+    model = {n: [] for n in names}
+    stamps = {n: [] for n in names}
+    for index, size, timestamped in ops:
+        name = names[index]
+        payload = bytes([index + 65]) * size
+        result = logs[name].append(payload, timestamped=timestamped)
+        model[name].append(payload)
+        stamps[name].append(result.timestamp)  # None if untimestamped
+    return service, logs, model, stamps
+
+
+class TestIterationProperties:
+    @given(ops=workload)
+    @prop_settings
+    def test_reverse_is_forward_reversed(self, ops):
+        service, logs, model, _ = build(ops)
+        for name, log in logs.items():
+            forward = [e.data for e in log.entries()]
+            backward = [e.data for e in log.entries(reverse=True)]
+            assert forward == model[name]
+            assert backward == forward[::-1]
+
+    @given(ops=workload, data=st.data())
+    @prop_settings
+    def test_since_slices_match_model(self, ops, data):
+        service, logs, model, stamps = build(ops)
+        name = data.draw(st.sampled_from(sorted(logs)))
+        log = logs[name]
+        timestamped_positions = [
+            i for i, ts in enumerate(stamps[name]) if ts is not None
+        ]
+        if not timestamped_positions:
+            return
+        pick = data.draw(st.sampled_from(timestamped_positions))
+        cutoff = stamps[name][pick]
+        got = [e.data for e in log.entries(since=cutoff)]
+        assert got == model[name][pick:]
+
+    @given(ops=workload, data=st.data())
+    @prop_settings
+    def test_tail_matches_model(self, ops, data):
+        service, logs, model, _ = build(ops)
+        name = data.draw(st.sampled_from(sorted(logs)))
+        count = data.draw(st.integers(min_value=0, max_value=10))
+        got = [e.data for e in logs[name].tail(count)]
+        expected = model[name][-count:] if count else []
+        assert got == expected
+
+    @given(ops=workload)
+    @prop_settings
+    def test_entry_ids_resolve_for_all_timestamped(self, ops):
+        from repro.core import EntryId
+
+        service, logs, model, stamps = build(ops)
+        for name, log in logs.items():
+            for position, ts in enumerate(stamps[name]):
+                if ts is None:
+                    continue
+                found = log.read(EntryId(ts))
+                assert found is not None, (name, position)
+                assert found.data == model[name][position]

@@ -1,0 +1,107 @@
+"""Tests for removable-media behaviour: sealed predecessor volumes going
+offline and coming back on demand (Section 2.1)."""
+
+import pytest
+
+from repro.core import LogService
+from repro.worm import VolumeOfflineError, VolumeSequenceError
+
+
+def make_multivolume_service(n_entries=160):
+    service = LogService.create(
+        block_size=512,
+        degree_n=8,
+        volume_capacity_blocks=32,
+        cache_capacity_blocks=8,  # small: old volumes fall out of cache
+    )
+    log = service.create_log_file("/app")
+    payloads = [f"entry-{i:04d}".encode() * 20 for i in range(n_entries)]
+    for payload in payloads:
+        log.append(payload, force=True)
+    assert len(service.store.sequence.volumes) >= 3
+    return service, log, payloads
+
+
+class TestOfflineBasics:
+    def test_active_volume_cannot_go_offline(self):
+        service, _, _ = make_multivolume_service()
+        active = len(service.store.sequence.volumes) - 1
+        with pytest.raises(VolumeSequenceError):
+            service.take_volume_offline(active)
+
+    def test_sealed_volume_goes_offline_and_reads_fail(self):
+        service, log, _ = make_multivolume_service()
+        service.take_volume_offline(0)
+        service.store.cache.clear()
+        with pytest.raises(VolumeOfflineError):
+            list(log.entries())
+
+    def test_recent_data_readable_while_old_volume_offline(self):
+        """The whole point of removable media: the tail stays usable."""
+        service, log, payloads = make_multivolume_service()
+        service.take_volume_offline(0)
+        # Reverse iteration works until it would descend into volume 0.
+        iterator = iter(log.entries(reverse=True))
+        recent = [next(iterator).data for _ in range(10)]
+        assert recent[0] == payloads[-1]
+        assert recent == [p for p in reversed(payloads)][:10]
+        with pytest.raises(VolumeOfflineError):
+            for _ in iterator:
+                pass
+
+    def test_manual_bring_online_restores_access(self):
+        service, log, payloads = make_multivolume_service()
+        service.take_volume_offline(0)
+        service.bring_volume_online(0)
+        service.store.cache.clear()
+        assert [e.data for e in log.entries()] == payloads
+
+    def test_writes_unaffected_by_offline_predecessors(self):
+        service, log, _ = make_multivolume_service()
+        service.take_volume_offline(0)
+        result = log.append(b"still writing", force=True)
+        assert result.entry_id is not None
+
+
+class TestOnDemandMounting:
+    def test_demand_handler_auto_mounts(self):
+        service, log, payloads = make_multivolume_service()
+        mounted_requests = []
+
+        def jukebox(volume_index: int) -> bool:
+            mounted_requests.append(volume_index)
+            return True
+
+        service.volume_demand_handler = jukebox
+        service.take_volume_offline(0)
+        service.take_volume_offline(1)
+        service.store.cache.clear()
+        got = [e.data for e in log.entries()]
+        assert got == payloads
+        assert service.demand_mounts >= 2
+        assert 0 in mounted_requests and 1 in mounted_requests
+
+    def test_demand_handler_refusal_propagates(self):
+        service, log, _ = make_multivolume_service()
+        service.volume_demand_handler = lambda index: False
+        service.take_volume_offline(0)
+        service.store.cache.clear()
+        with pytest.raises(VolumeOfflineError):
+            list(log.entries())
+
+    def test_cached_blocks_readable_while_offline(self):
+        """A block still in the buffer pool needs no medium at all."""
+        service, log, payloads = make_multivolume_service()
+        big_cache_service = None  # re-run with a big cache for this test
+        service2 = LogService.create(
+            block_size=512,
+            degree_n=8,
+            volume_capacity_blocks=32,
+            cache_capacity_blocks=4096,
+        )
+        log2 = service2.create_log_file("/app")
+        for payload in payloads:
+            log2.append(payload, force=True)
+        service2.take_volume_offline(0)
+        # Everything was cached during writing; no device read needed.
+        assert [e.data for e in log2.entries()] == payloads

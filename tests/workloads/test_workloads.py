@@ -1,0 +1,110 @@
+"""Tests for workload generators and the analysis models."""
+
+import pytest
+
+from repro.workloads import (
+    EntryStream,
+    FileOp,
+    FileTrace,
+    LoginLogWorkload,
+    fixed_size,
+    lognormal_size,
+    uniform_size,
+    zipf_weights,
+)
+
+
+class TestEntryStream:
+    def test_deterministic_under_seed(self):
+        stream = EntryStream([0.5, 0.5], uniform_size(1, 50), seed=3)
+        a = list(stream.generate(100))
+        b = list(stream.generate(100))
+        assert a == b
+
+    def test_weights_bias_targets(self):
+        stream = EntryStream([0.95, 0.05], fixed_size(10), seed=1)
+        targets = [t for t, _ in stream.generate(500)]
+        assert targets.count(0) > 400
+
+    def test_sizes_respected(self):
+        stream = EntryStream([1.0], fixed_size(20), seed=1)
+        assert all(len(p) == 20 for _, p in stream.generate(50))
+
+    def test_payloads_carry_stamp(self):
+        stream = EntryStream([1.0], fixed_size(30), seed=1)
+        for i, (_, payload) in enumerate(stream.generate(10)):
+            assert payload.startswith(f"[0:{i}]".encode())
+
+    def test_lognormal_sizes_heavy_tailed(self):
+        import random
+
+        dist = lognormal_size(median=100)
+        rng = random.Random(5)
+        sizes = [dist(rng) for _ in range(2000)]
+        assert min(sizes) < 100 < max(sizes)
+        assert max(sizes) > 500
+
+    def test_zipf_weights_normalized_and_skewed(self):
+        weights = zipf_weights(10)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights[0] > weights[-1] * 5
+
+
+class TestLoginLogWorkload:
+    def test_record_size_matches_paper_c(self):
+        """Entry footprint ≈ 1/15 of a 1 KB block."""
+        workload = LoginLogWorkload()
+        record = next(iter(workload.generate(1)))
+        footprint = len(record.encode()) + 10 + 2  # header + index slot
+        assert 1024 / 17 <= footprint <= 1024 / 13
+
+    def test_active_user_window(self):
+        """Roughly `active_users` distinct users per 240-entry window."""
+        workload = LoginLogWorkload(user_count=40, active_users=8)
+        records = list(workload.generate(2400))
+        for start in range(0, 2400 - 240, 240):
+            window = records[start : start + 240]
+            distinct = len({r.user for r in window})
+            assert 6 <= distinct <= 12
+
+    def test_deterministic(self):
+        w = LoginLogWorkload(seed=9)
+        assert list(w.generate(50)) == list(w.generate(50))
+
+    def test_drive_writes_to_sublogs(self):
+        from repro.core import LogService
+
+        service = LogService.create(
+            block_size=1024, degree_n=16, volume_capacity_blocks=2048
+        )
+        workload = LoginLogWorkload(user_count=10, active_users=4)
+        written = workload.drive(service, 200)
+        assert sum(written.values()) == 200
+        for user, count in written.items():
+            log = service.open_log_file(f"/access/{user}")
+            assert len(list(log.entries())) == count
+
+
+class TestFileTrace:
+    def test_events_time_ordered(self):
+        trace = FileTrace(file_count=100)
+        times = [e.time_us for e in trace.generate()]
+        assert times == sorted(times)
+
+    def test_short_lived_fraction_near_target(self):
+        trace = FileTrace(file_count=400, short_lived_fraction=0.55, seed=2)
+        short = trace.short_lived_count()
+        assert 0.45 * 400 <= short <= 0.65 * 400
+
+    def test_deletes_follow_writes(self):
+        trace = FileTrace(file_count=100)
+        seen = set()
+        for event in trace.generate():
+            if event.op is FileOp.DELETE:
+                assert event.path in seen
+            else:
+                seen.add(event.path)
+
+    def test_deterministic(self):
+        t = FileTrace(seed=3)
+        assert list(t.generate()) == list(t.generate())

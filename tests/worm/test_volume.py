@@ -1,0 +1,269 @@
+"""Tests for volume headers, log volumes, and volume sequences."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.worm import (
+    LogVolume,
+    VolumeFullError,
+    VolumeHeader,
+    VolumeSealedError,
+    VolumeSequence,
+    VolumeSequenceError,
+    WormDevice,
+)
+
+BS = 128
+
+
+def make_device(capacity=16):
+    return WormDevice(block_size=BS, capacity_blocks=capacity)
+
+
+def make_sequence(n_volumes=1, capacity=16, degree_n=4):
+    seq = VolumeSequence(sequence_id=b"S" * 16)
+    volume = LogVolume.create(
+        make_device(capacity),
+        degree_n=degree_n,
+        sequence_id=seq.sequence_id,
+        volume_index=0,
+    )
+    seq.add_volume(volume)
+    for _ in range(n_volumes - 1):
+        seq.create_volume(make_device(capacity))
+    return seq
+
+
+class TestVolumeHeader:
+    def test_roundtrip(self):
+        header = VolumeHeader(
+            block_size=BS,
+            degree_n=16,
+            volume_index=3,
+            capacity_blocks=100,
+            volume_id=b"V" * 16,
+            sequence_id=b"S" * 16,
+            predecessor_id=b"P" * 16,
+            created_ts=12345,
+        )
+        assert VolumeHeader.decode(header.encode()) == header
+
+    def test_encode_pads_to_block_size(self):
+        header = VolumeHeader(
+            block_size=BS,
+            degree_n=4,
+            volume_index=0,
+            capacity_blocks=8,
+            volume_id=b"\x01" * 16,
+            sequence_id=b"\x02" * 16,
+            predecessor_id=VolumeHeader.NULL_ID,
+            created_ts=0,
+        )
+        assert len(header.encode()) == BS
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(VolumeSequenceError):
+            VolumeHeader.decode(b"\x00" * BS)
+
+
+class TestLogVolume:
+    def test_create_burns_header_at_block_zero(self):
+        dev = make_device()
+        LogVolume.create(dev, degree_n=4, sequence_id=b"S" * 16, volume_index=0)
+        assert dev.blocks_written == 1
+        assert VolumeHeader.decode(dev.read_block(0)).degree_n == 4
+
+    def test_rewriteable_device_rejected_as_log_device(self):
+        """Log devices must be append-only; a plain rewriteable disk is
+        not an acceptable substrate for a log volume."""
+        from repro.worm import RewritableDevice
+
+        disk = RewritableDevice(block_size=BS, capacity_blocks=16)
+        with pytest.raises(TypeError):
+            LogVolume.create(disk, degree_n=4, sequence_id=b"S" * 16, volume_index=0)
+
+    def test_create_on_used_medium_rejected(self):
+        dev = make_device()
+        dev.append_block(bytes(BS))
+        with pytest.raises(VolumeSequenceError):
+            LogVolume.create(dev, degree_n=4, sequence_id=b"S" * 16, volume_index=0)
+
+    def test_mount_roundtrip(self):
+        dev = make_device()
+        created = LogVolume.create(
+            dev, degree_n=8, sequence_id=b"S" * 16, volume_index=0
+        )
+        mounted = LogVolume.mount(dev)
+        assert mounted.header == created.header
+
+    def test_data_block_addressing_skips_header(self):
+        dev = make_device()
+        vol = LogVolume.create(dev, degree_n=4, sequence_id=b"S" * 16, volume_index=0)
+        addr = vol.append_data_block(b"\xaa" * BS)
+        assert addr == 0
+        assert dev.read_block(1) == b"\xaa" * BS
+        assert vol.read_data_block(0) == b"\xaa" * BS
+
+    def test_data_capacity_excludes_header(self):
+        vol = LogVolume.create(
+            make_device(16), degree_n=4, sequence_id=b"S" * 16, volume_index=0
+        )
+        assert vol.data_capacity == 15
+
+    def test_sealed_volume_rejects_appends(self):
+        vol = LogVolume.create(
+            make_device(), degree_n=4, sequence_id=b"S" * 16, volume_index=0
+        )
+        vol.seal()
+        with pytest.raises(VolumeSealedError):
+            vol.append_data_block(bytes(BS))
+
+    def test_full_volume_raises(self):
+        vol = LogVolume.create(
+            make_device(3), degree_n=4, sequence_id=b"S" * 16, volume_index=0
+        )
+        vol.append_data_block(bytes(BS))
+        vol.append_data_block(bytes(BS))
+        with pytest.raises(VolumeFullError):
+            vol.append_data_block(bytes(BS))
+
+    def test_invalidate_data_block(self):
+        vol = LogVolume.create(
+            make_device(), degree_n=4, sequence_id=b"S" * 16, volume_index=0
+        )
+        vol.append_data_block(bytes(BS))
+        vol.invalidate_data_block(0)
+        assert vol.is_data_invalidated(0)
+
+
+class TestTailDiscovery:
+    def test_tail_query_path(self):
+        vol = LogVolume.create(
+            make_device(), degree_n=4, sequence_id=b"S" * 16, volume_index=0
+        )
+        for i in range(5):
+            vol.append_data_block(bytes([i]) * BS)
+        last, probes = vol.find_last_written_data_block()
+        assert last == 4
+        assert probes == 1
+
+    def test_empty_volume_tail_query(self):
+        vol = LogVolume.create(
+            make_device(), degree_n=4, sequence_id=b"S" * 16, volume_index=0
+        )
+        last, _ = vol.find_last_written_data_block()
+        assert last == -1
+
+    @pytest.mark.parametrize("n_written", [0, 1, 2, 7, 14, 15])
+    def test_binary_search_path_matches_truth(self, n_written):
+        dev = WormDevice(block_size=BS, capacity_blocks=16, supports_tail_query=False)
+        vol = LogVolume.create(dev, degree_n=4, sequence_id=b"S" * 16, volume_index=0)
+        for i in range(n_written):
+            vol.append_data_block(bytes([i]) * BS)
+        last, probes = vol.find_last_written_data_block()
+        assert last == n_written - 1
+        # Section 3.4: binary search costs about log2(V) probes.
+        assert probes <= 5  # ceil(log2(15)) + 1
+
+    @given(st.integers(min_value=0, max_value=62))
+    @settings(max_examples=40, deadline=None)
+    def test_binary_search_property(self, n_written):
+        dev = WormDevice(block_size=BS, capacity_blocks=64, supports_tail_query=False)
+        vol = LogVolume.create(dev, degree_n=4, sequence_id=b"S" * 16, volume_index=0)
+        for i in range(n_written):
+            vol.append_data_block(bytes([i % 256]) * BS)
+        last, probes = vol.find_last_written_data_block()
+        assert last == n_written - 1
+        assert probes <= 7
+
+
+class TestVolumeSequence:
+    def test_single_volume_global_addressing(self):
+        seq = make_sequence()
+        g = seq.append_block(b"\x01" * BS)
+        assert g == 0
+        assert seq.read_block(0) == b"\x01" * BS
+
+    def test_successor_chaining_seals_predecessor(self):
+        seq = make_sequence(n_volumes=2)
+        assert seq.volumes[0].is_sealed
+        assert not seq.volumes[1].is_sealed
+
+    def test_global_addresses_span_volumes(self):
+        seq = make_sequence(capacity=4)  # 3 data blocks per volume
+        for i in range(3):
+            seq.append_block(bytes([i]) * BS)
+        with pytest.raises(VolumeFullError):
+            seq.append_block(bytes(BS))
+        seq.create_volume(make_device(4))
+        g = seq.append_block(b"\x09" * BS)
+        assert g == 3
+        assert seq.read_block(3) == b"\x09" * BS
+        assert seq.to_local(3) == (1, 0)
+        assert seq.to_global(1, 0) == 3
+
+    def test_wrong_sequence_id_rejected(self):
+        seq = make_sequence()
+        stray = LogVolume.create(
+            make_device(), degree_n=4, sequence_id=b"X" * 16, volume_index=1
+        )
+        with pytest.raises(VolumeSequenceError):
+            seq.add_volume(stray)
+
+    def test_wrong_volume_index_rejected(self):
+        seq = make_sequence()
+        stray = LogVolume.create(
+            make_device(),
+            degree_n=4,
+            sequence_id=seq.sequence_id,
+            volume_index=5,
+            predecessor_id=seq.volumes[0].header.volume_id,
+        )
+        with pytest.raises(VolumeSequenceError):
+            seq.add_volume(stray)
+
+    def test_wrong_predecessor_rejected(self):
+        seq = make_sequence()
+        stray = LogVolume.create(
+            make_device(),
+            degree_n=4,
+            sequence_id=seq.sequence_id,
+            volume_index=1,
+            predecessor_id=b"Z" * 16,
+        )
+        with pytest.raises(VolumeSequenceError):
+            seq.add_volume(stray)
+
+    def test_first_volume_must_have_null_predecessor(self):
+        seq = VolumeSequence(sequence_id=b"S" * 16)
+        stray = LogVolume.create(
+            make_device(),
+            degree_n=4,
+            sequence_id=seq.sequence_id,
+            volume_index=0,
+            predecessor_id=b"P" * 16,
+        )
+        with pytest.raises(VolumeSequenceError):
+            seq.add_volume(stray)
+
+    def test_total_data_blocks(self):
+        seq = make_sequence(n_volumes=3, capacity=8)
+        assert seq.total_data_blocks == 21
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=4, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_addressing_roundtrip_property(self, n_blocks, capacity):
+        seq = make_sequence(n_volumes=1, capacity=capacity)
+        written = []
+        for i in range(n_blocks):
+            try:
+                g = seq.append_block(bytes([i % 256]) * BS)
+            except VolumeFullError:
+                seq.create_volume(make_device(capacity))
+                g = seq.append_block(bytes([i % 256]) * BS)
+            written.append((g, bytes([i % 256]) * BS))
+        for g, expected in written:
+            assert seq.read_block(g) == expected
+            vol_idx, local = seq.to_local(g)
+            assert seq.to_global(vol_idx, local) == g
