@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples fsck-demo outputs clean
+.PHONY: install test bench bench-tables examples fsck-demo obs-demo outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -22,6 +22,18 @@ examples:
 		echo "== $$script =="; \
 		$(PYTHON) $$script || exit 1; \
 	done
+
+# Observability walkthrough: build a small file-backed store, then show
+# the live metric families and the mount/read span trees.
+obs-demo:
+	rm -rf /tmp/clio-obs-demo
+	PYTHONPATH=src $(PYTHON) -m repro init /tmp/clio-obs-demo --block-size 512 --degree 8
+	PYTHONPATH=src $(PYTHON) -m repro create /tmp/clio-obs-demo /app
+	@for i in 1 2 3 4 5 6 7 8; do \
+		PYTHONPATH=src $(PYTHON) -m repro append /tmp/clio-obs-demo /app "event $$i" || exit 1; \
+	done
+	PYTHONPATH=src $(PYTHON) -m repro stats /tmp/clio-obs-demo --touch /app
+	PYTHONPATH=src $(PYTHON) -m repro trace /tmp/clio-obs-demo --read /app
 
 # The final artifacts recorded in the repository.
 outputs:

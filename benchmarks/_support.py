@@ -19,6 +19,9 @@ captured values).
 
 from __future__ import annotations
 
+import json
+import os
+
 from repro.core import LogService
 from repro.core.entrymap import EntrymapSearch, EntrymapState, SearchStats
 
@@ -81,6 +84,40 @@ def make_service(**kwargs) -> LogService:
     )
     defaults.update(kwargs)
     return LogService.create(**defaults)
+
+
+def registry_snapshot(service: LogService) -> dict:
+    """The service's full metrics registry as a JSON-ready snapshot.
+
+    Accessing ``service.metrics`` wires the registry on demand; its
+    samplers read the cumulative stats objects, so a snapshot taken at the
+    end of a benchmark carries the complete operation counts even when
+    observability was not enabled up front.
+    """
+    from repro.obs.export import json_snapshot
+
+    return json_snapshot(service.metrics)
+
+
+def bench_record(name: str, headline: dict, service: LogService | None = None) -> dict:
+    """One benchmark record: the headline numbers plus, when a service is
+    given, the registry snapshot with the underlying counters.
+
+    When ``CLIO_BENCH_RECORD_DIR`` is set the record is also written to
+    ``BENCH_<name>.json`` in that directory, so captured benchmark entries
+    carry the device/cache/locate/recovery counters behind each headline
+    number, not just the number itself.
+    """
+    record: dict = {"bench": name, "headline": headline}
+    if service is not None:
+        record["metrics"] = registry_snapshot(service)
+    out_dir = os.environ.get("CLIO_BENCH_RECORD_DIR")
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        with open(path, "w") as handle:
+            json.dump(record, handle, indent=2, default=str)
+    return record
 
 
 def advance_to_block(service: LogService, filler, target_block: int) -> None:

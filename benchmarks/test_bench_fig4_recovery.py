@@ -20,7 +20,7 @@ import pytest
 from repro.analysis import expected_blocks_examined
 from repro.core import LogService
 
-from _support import advance_to_block, make_service, print_table
+from _support import advance_to_block, bench_record, make_service, print_table
 
 DEGREES = [4, 8, 16]
 SIZES = [100, 400, 1600, 4000]
@@ -39,21 +39,30 @@ def measure_recovery(degree: int, blocks: int, jitter: int) -> int:
     advance_to_block(service, filler, blocks + jitter)
     remains = service.crash()
     mounted, report = LogService.mount(remains.devices, remains.nvram)
-    return report.volumes[0].blocks_examined
+    return mounted, report.volumes[0].blocks_examined
 
 
 @pytest.fixture(scope="module")
 def curves():
     results: dict[int, list[tuple[int, float]]] = {}
+    last_mounted = None
     for degree in DEGREES:
         points = []
         for blocks in SIZES:
-            samples = [
-                measure_recovery(degree, blocks, jitter)
-                for jitter in (0, degree // 2, degree - 1)
-            ]
+            samples = []
+            for jitter in (0, degree // 2, degree - 1):
+                last_mounted, examined = measure_recovery(degree, blocks, jitter)
+                samples.append(examined)
             points.append((blocks, sum(samples) / len(samples)))
         results[degree] = points
+    bench_record(
+        "fig4_recovery",
+        {
+            str(degree): [[b, avg] for b, avg in results[degree]]
+            for degree in DEGREES
+        },
+        last_mounted,
+    )
     return results
 
 

@@ -18,7 +18,7 @@ import pytest
 
 from repro.vsystem.costs import SUN3
 
-from _support import make_service, print_table
+from _support import bench_record, make_service, print_table
 
 
 def simulated_write_ms(service, log, payload: bytes, count: int = 200, **kw) -> float:
@@ -37,7 +37,11 @@ def measurements():
     null_ms = simulated_write_ms(service, log, b"", client_seq=1)
     fifty_ms = simulated_write_ms(service, log, b"x" * 50, client_seq=1)
     untimestamped_ms = simulated_write_ms(service, log, b"", timestamped=False)
-    return {"null": null_ms, "fifty": fifty_ms, "unstamped": untimestamped_ms}
+    headline = {"null": null_ms, "fifty": fifty_ms, "unstamped": untimestamped_ms}
+    # The record carries the registry snapshot (writer/cache/device
+    # counters) behind the headline latencies.
+    bench_record("sec32_write", headline, service)
+    return headline
 
 
 class TestSection32:

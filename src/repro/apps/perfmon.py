@@ -41,18 +41,22 @@ class Sample:
 
 @dataclass(slots=True)
 class SeriesStats:
-    """Aggregates over one metric's samples in a time window."""
+    """Aggregates over one metric's samples in a time window.
+
+    An empty window has ``minimum``/``maximum`` of ``None`` (not the
+    ±inf sentinels a naive fold would leave behind).
+    """
 
     count: int = 0
     total: float = 0.0
-    minimum: float = float("inf")
-    maximum: float = float("-inf")
+    minimum: float | None = None
+    maximum: float | None = None
 
     def fold(self, value: float) -> None:
         self.count += 1
         self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
 
     @property
     def mean(self) -> float:
@@ -93,6 +97,34 @@ class MetricsLog:
     def checkpoint(self) -> None:
         """Force the buffered tail — e.g. at the end of a reporting period."""
         self.service.sync()
+
+    def ingest_registry(self, registry, prefix: str = "") -> int:
+        """Sample every metric in an :class:`repro.obs.MetricsRegistry`
+        into the log — the paper's "performance monitoring" use case with
+        Clio monitoring itself.
+
+        Counter and gauge children are recorded under
+        ``<prefix><name>[.label.value...]``; a histogram child is recorded
+        as its ``.sum`` and ``.count`` series.  Returns the number of
+        samples recorded.  Pair with :meth:`checkpoint` to make a
+        reporting period durable.
+        """
+        from repro.obs.registry import HistogramValue
+
+        recorded = 0
+        for family in registry.collect():
+            for labels, value in family.samples:
+                name = prefix + family.name
+                for label_name, label_value in labels:
+                    name += f".{label_name}.{label_value}"
+                if isinstance(value, HistogramValue):
+                    self.record(f"{name}.sum", value.sum)
+                    self.record(f"{name}.count", value.count)
+                    recorded += 2
+                else:
+                    self.record(name, value)
+                    recorded += 1
+        return recorded
 
     # -- querying ------------------------------------------------------------------
 

@@ -47,3 +47,11 @@ class CacheStats:
             insertions=self.insertions - earlier.insertions,
             evictions=self.evictions - earlier.evictions,
         )
+
+    def reset(self) -> None:
+        """Zero every counter in place (e.g. between benchmark phases,
+        after a warm-up pass whose accesses should not be measured)."""
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0

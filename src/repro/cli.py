@@ -48,7 +48,9 @@ def _make_factory(directory: str, block_size: int, capacity: int):
     return factory
 
 
-def _mount(directory: str, read_only: bool = False) -> LogService:
+def _mount(
+    directory: str, read_only: bool = False, observability: bool = False
+) -> LogService:
     paths = _volume_paths(directory)
     if not paths:
         raise SystemExit(f"error: no Clio store in {directory!r} (run `clio init`)")
@@ -63,6 +65,7 @@ def _mount(directory: str, read_only: bool = False) -> LogService:
         nvram,
         device_factory=_make_factory(directory, block_size, capacity),
         read_only=read_only,
+        observability=observability,
     )
     return service
 
@@ -223,6 +226,86 @@ def cmd_fsck(args) -> int:
     return 2
 
 
+def _render_stats_table(service: LogService) -> None:
+    from repro.obs.registry import HistogramValue
+
+    for family in service.metrics.collect():
+        printed_header = False
+        for labels, value in family.samples:
+            label_text = (
+                "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+                if labels
+                else ""
+            )
+            if isinstance(value, HistogramValue):
+                if value.count == 0:
+                    continue  # an unobserved histogram is noise in a table
+                mean = value.sum / value.count
+                rendered = (
+                    f"count={value.count} sum={value.sum:g} mean={mean:g}"
+                )
+            elif float(value).is_integer():
+                rendered = str(int(value))
+            else:
+                rendered = f"{value:g}"
+            if not printed_header:
+                print(f"{family.name}  ({family.kind})")
+                printed_header = True
+            print(f"  {label_text or '-':<24} {rendered}")
+
+
+def cmd_stats(args) -> int:
+    """Live counters for a store: mount it (running real recovery, which
+    itself populates the recovery metric family) and render the registry."""
+    service = _mount(args.store, read_only=True, observability=True)
+    if args.touch:
+        # Exercise one locate + read per named log file so the locate and
+        # cache families reflect this store's actual read behaviour.
+        for path in args.touch:
+            for _ in service.read_entries(path):
+                break
+    from repro.obs.export import json_snapshot, prometheus_text
+
+    if args.format == "prometheus":
+        sys.stdout.write(prometheus_text(service.metrics))
+    elif args.format == "json":
+        import json
+
+        print(json.dumps(json_snapshot(service.metrics), indent=2))
+    else:
+        _render_stats_table(service)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Span trees from a traced mount (and optional reads).
+
+    All timestamps are simulated time, so the same store produces the same
+    trace on every invocation — diffs between two ``trace`` runs are real
+    behaviour changes, never scheduling noise.
+    """
+    service = _mount(args.store, read_only=True, observability=True)
+    if args.read:
+        for path in args.read:
+            with service.tracer.span("read", path=path) as sp:
+                count = sum(1 for _ in service.read_entries(path))
+                sp.set("entries", count)
+    from repro.obs.tracing import format_span_tree
+
+    roots = service.tracer.recent(limit=args.limit)
+    if not roots:
+        print("no spans recorded")
+        return 0
+    if args.format == "json":
+        import json
+
+        print(json.dumps([span.as_dict() for span in roots], indent=2))
+    else:
+        for span in roots:
+            print(format_span_tree(span))
+    return 0
+
+
 # ---------------------------------------------------------------------- #
 # Argument parsing
 # ---------------------------------------------------------------------- #
@@ -284,6 +367,39 @@ def build_parser() -> argparse.ArgumentParser:
     p = commands.add_parser("volumes", help="list the volume sequence")
     p.add_argument("store")
     p.set_defaults(handler=cmd_volumes)
+
+    p = commands.add_parser(
+        "stats", help="live metrics for a store (device/cache/locate/recovery)"
+    )
+    p.add_argument("store")
+    p.add_argument(
+        "--format",
+        choices=("table", "prometheus", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
+    p.add_argument(
+        "--touch",
+        action="append",
+        metavar="PATH",
+        help="read one entry of PATH first so locate/cache counters move "
+        "(repeatable)",
+    )
+    p.set_defaults(handler=cmd_stats)
+
+    p = commands.add_parser(
+        "trace", help="sim-time span trees for a mount (and optional reads)"
+    )
+    p.add_argument("store")
+    p.add_argument(
+        "--read",
+        action="append",
+        metavar="PATH",
+        help="also trace a full read of PATH (repeatable)",
+    )
+    p.add_argument("--limit", type=int, default=None, help="show at most N trees")
+    p.add_argument("--format", choices=("tree", "json"), default="tree")
+    p.set_defaults(handler=cmd_trace)
 
     return parser
 

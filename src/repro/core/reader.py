@@ -167,20 +167,29 @@ class LogReader:
         volume = self.store.sequence.volumes[volume_index]
 
         def loader() -> bytes:
-            active_volume, tail_addr = self._tail_position()
-            if (
-                self._tail_image is not None
-                and volume_index == active_volume
-                and local_block == tail_addr
-            ):
-                image = self._tail_image()
-                if image is not None:
-                    return image
-            busy_before = volume.device.stats.busy_ms
-            data = volume.read_data_block(local_block)
-            self.stats.device_reads += 1
-            self.store.clock.advance_ms(volume.device.stats.busy_ms - busy_before)
-            return data
+            with self.store.tracer.span(
+                "cache.fill", volume=volume_index, block=local_block
+            ) as fill:
+                active_volume, tail_addr = self._tail_position()
+                if (
+                    self._tail_image is not None
+                    and volume_index == active_volume
+                    and local_block == tail_addr
+                ):
+                    image = self._tail_image()
+                    if image is not None:
+                        fill.set("source", "tail-image")
+                        return image
+                with self.store.tracer.span(
+                    "device.io", op="read", volume=volume_index, block=local_block
+                ):
+                    busy_before = volume.device.stats.busy_ms
+                    data = volume.read_data_block(local_block)
+                    self.stats.device_reads += 1
+                    self.store.clock.advance_ms(
+                        volume.device.stats.busy_ms - busy_before
+                    )
+                return data
 
         try:
             data = self.store.cache.get(key, loader)
@@ -364,6 +373,33 @@ class LogReader:
     def locate_prev_global(self, logfile_id: int, before_global: int) -> int | None:
         """Greatest readable global block < ``before_global`` with entries
         of ``logfile_id`` (descending through predecessor volumes)."""
+        store = self.store
+        if store.instruments is None and not store.tracer.enabled:
+            return self._locate_prev_impl(logfile_id, before_global)
+        return self._locate_observed(
+            "prev", self._locate_prev_impl, logfile_id, before_global
+        )
+
+    def _locate_observed(
+        self, direction: str, impl, logfile_id: int, position: int
+    ) -> int | None:
+        """Run one locate with a span and the Figure-3 per-operation count."""
+        store = self.store
+        examined_before = self.stats.search.entrymap_entries_examined
+        with store.tracer.span(
+            "locate", logfile_id=logfile_id, direction=direction
+        ) as sp:
+            found = impl(logfile_id, position)
+            examined = (
+                self.stats.search.entrymap_entries_examined - examined_before
+            )
+            sp.set("entries_examined", examined)
+            sp.set("found_block", found)
+        if store.instruments is not None:
+            store.instruments.locate_entries_examined.observe(examined)
+        return found
+
+    def _locate_prev_impl(self, logfile_id: int, before_global: int) -> int | None:
         sequence = self.store.sequence
         if before_global <= 0:
             return None
@@ -388,6 +424,14 @@ class LogReader:
     def locate_next_global(self, logfile_id: int, start_global: int) -> int | None:
         """Smallest readable global block >= ``start_global`` with entries
         of ``logfile_id`` (ascending through successor volumes)."""
+        store = self.store
+        if store.instruments is None and not store.tracer.enabled:
+            return self._locate_next_impl(logfile_id, start_global)
+        return self._locate_observed(
+            "next", self._locate_next_impl, logfile_id, start_global
+        )
+
+    def _locate_next_impl(self, logfile_id: int, start_global: int) -> int | None:
         sequence = self.store.sequence
         extent = self.global_extent()
         if start_global >= extent:

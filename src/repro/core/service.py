@@ -78,6 +78,7 @@ class LogService:
     ):
         self.store = store
         self.writer = writer
+        self.last_recovery_report: RecoveryReport | None = None
         self.reader = LogReader(
             store,
             tail_position=lambda: (writer.volume_index, writer.tail_block_addr),
@@ -117,11 +118,14 @@ class LogService:
         nvram: NvramTail | None = None,
         remote_clients: bool = False,
         enforce_permissions: bool = False,
+        observability: bool = False,
     ) -> "LogService":
         """Initialize a brand-new log service on a fresh medium.
 
         ``nvram`` injects a specific NVRAM implementation (e.g. the
         file-backed one); otherwise one is created per the flags.
+        ``observability=True`` enables the metrics registry and span tracer
+        (:mod:`repro.obs`) from the first operation.
         """
         from repro.worm.geometry import NULL_GEOMETRY
 
@@ -172,7 +176,10 @@ class LogService:
         store.sequence.add_volume(first_volume)
         store.states.append(EntrymapState(degree_n, first_volume.data_capacity))
         writer = TailWriter(store)
-        return cls(store, writer)
+        service = cls(store, writer)
+        if observability:
+            service.enable_observability()
+        return service
 
     @classmethod
     def mount(
@@ -185,6 +192,7 @@ class LogService:
         cost_model: CostModel = SUN3,
         device_factory=None,
         read_only: bool = False,
+        observability: bool = False,
     ) -> tuple["LogService", RecoveryReport]:
         """Mount surviving media after a crash (or cold start) and run the
         three-step recovery of Section 2.3.1 / 3.4.
@@ -192,6 +200,8 @@ class LogService:
         ``read_only=True`` mounts for examination only (e.g. an archive
         shelf): every mutating operation raises :class:`ReadOnlyService`,
         and corruption found while reading is reported but not repaired.
+        ``observability=True`` enables metrics and tracing *before* the
+        recovery pass runs, so the mount itself produces a span tree.
         """
         if not devices:
             raise ValueError("mount requires at least one device")
@@ -229,6 +239,8 @@ class LogService:
         writer = TailWriter(store)
         service = cls(store, writer)
         service._read_only = read_only
+        if observability:
+            service.enable_observability()
         report = service._recover()
         return service, report
 
@@ -270,52 +282,66 @@ class LogService:
         store = self.store
         active_index = len(store.sequence.volumes) - 1
 
-        # Step 1: locate the end of the written portion of each volume.
-        tails: list[int] = []
-        for index, volume in enumerate(store.sequence.volumes):
-            stats = VolumeRecoveryStats()
-            last, probes = volume.find_last_written_data_block()
-            stats.tail_probes = probes
-            tails.append(last)
-            report.volumes.append(stats)
+        with store.tracer.span("recovery", volumes=len(store.sequence.volumes)) as root:
+            # Step 1: locate the end of the written portion of each volume.
+            tails: list[int] = []
+            for index, volume in enumerate(store.sequence.volumes):
+                stats = VolumeRecoveryStats()
+                with store.tracer.span("recovery.find_tail", volume=index) as sp:
+                    last, probes = volume.find_last_written_data_block()
+                    sp.set("tail_probes", probes)
+                stats.tail_probes = probes
+                tails.append(last)
+                report.volumes.append(stats)
 
-        # Adopt the NVRAM tail image if it continues the active volume.
-        if store.nvram is not None:
-            image = store.nvram.load()
-            if image is not None:
-                expected_global = store.sequence.volume_base(active_index) + (
-                    tails[active_index] + 1
-                )
-                if image.block_index == expected_global:
-                    self.writer.resume_tail(
-                        active_index, tails[active_index] + 1, image.data
+            # Adopt the NVRAM tail image if it continues the active volume.
+            if store.nvram is not None:
+                image = store.nvram.load()
+                if image is not None:
+                    expected_global = store.sequence.volume_base(active_index) + (
+                        tails[active_index] + 1
                     )
-                    tails[active_index] += 1
-                    report.nvram_tail_recovered = True
+                    if image.block_index == expected_global:
+                        self.writer.resume_tail(
+                            active_index, tails[active_index] + 1, image.data
+                        )
+                        tails[active_index] += 1
+                        report.nvram_tail_recovered = True
 
-        # Step 2: reconstruct entrymap accumulators, volume by volume.
-        for index in range(len(store.sequence.volumes)):
-            rebuild_entrymap_state(
-                store, self.reader, index, tails[index], report.volumes[index]
-            )
+            # Step 2: reconstruct entrymap accumulators, volume by volume.
+            for index in range(len(store.sequence.volumes)):
+                with store.tracer.span(
+                    "recovery.rebuild_entrymap", volume=index
+                ) as sp:
+                    rebuild_entrymap_state(
+                        store, self.reader, index, tails[index], report.volumes[index]
+                    )
+                    sp.set("blocks_scanned", report.volumes[index].blocks_examined)
 
-        # Timestamps must keep increasing across reboots (they uniquely
-        # identify entries and order the time search); advance the clock
-        # past the newest timestamp on the medium.
-        self._resume_clock_after(store)
+            # Timestamps must keep increasing across reboots (they uniquely
+            # identify entries and order the time search); advance the clock
+            # past the newest timestamp on the medium.
+            self._resume_clock_after(store)
 
-        # Step 3: replay the catalog log file.
-        report.catalog_records_replayed = replay_catalog(self.reader, store.catalog)
+            # Step 3: replay the catalog log file.
+            with store.tracer.span("recovery.replay_catalog") as sp:
+                report.catalog_records_replayed = replay_catalog(
+                    self.reader, store.catalog
+                )
+                sp.set("records", report.catalog_records_replayed)
 
-        # The level-1 rescan above ran before the catalog existed, so sublog
-        # ancestor bits may be missing from the accumulators; redo the
-        # reconstruction now that names resolve (cheap — everything is
-        # cached).  The benchmark-relevant costs were counted in pass one.
-        for index in range(len(store.sequence.volumes)):
-            rebuild_entrymap_state(store, self.reader, index, tails[index])
+            # The level-1 rescan above ran before the catalog existed, so sublog
+            # ancestor bits may be missing from the accumulators; redo the
+            # reconstruction now that names resolve (cheap — everything is
+            # cached).  The benchmark-relevant costs were counted in pass one.
+            for index in range(len(store.sequence.volumes)):
+                rebuild_entrymap_state(store, self.reader, index, tails[index])
 
-        self.known_corrupt_blocks = replay_corrupted_block_log(self.reader)
-        report.corrupted_blocks_known = len(self.known_corrupt_blocks)
+            self.known_corrupt_blocks = replay_corrupted_block_log(self.reader)
+            report.corrupted_blocks_known = len(self.known_corrupt_blocks)
+            root.set("blocks_scanned", report.total_blocks_examined)
+            root.set("catalog_records", report.catalog_records_replayed)
+        self.last_recovery_report = report
         return report
 
     def _resume_clock_after(self, store: LogStore) -> None:
@@ -458,14 +484,24 @@ class LogService:
         self._check_writable()
         logfile_id = self._resolve_target(target)
         self._check_permission(logfile_id, 0o200, "append")
-        self._charge_write(len(data))
-        return self.writer.append(
-            logfile_id,
-            data,
-            want_timestamp=timestamped,
-            client_seq=client_seq,
-            force=force,
-        )
+        store = self.store
+        start_ms = store.clock.now_ms
+        with store.tracer.span(
+            "append", logfile_id=logfile_id, bytes=len(data), force=force
+        ):
+            self._charge_write(len(data))
+            result = self.writer.append(
+                logfile_id,
+                data,
+                want_timestamp=timestamped,
+                client_seq=client_seq,
+                force=force,
+            )
+        if store.instruments is not None:
+            store.instruments.append_latency_ms.observe(
+                store.clock.now_ms - start_ms
+            )
+        return result
 
     def sync(self) -> None:
         """Make everything appended so far durable (a force with no entry
@@ -550,14 +586,19 @@ class LogService:
         self._check_alive()
         logfile_id = self._resolve_target(target)
         self._charge_read_call()
-        position = self.time_index.locate_entry(logfile_id, entry_id.timestamp)
-        if position is None:
-            return None
-        global_block, slot = position
-        from repro.core.ids import EntryLocation
+        with self.store.tracer.span(
+            "read", logfile_id=logfile_id, timestamp=entry_id.timestamp
+        ):
+            position = self.time_index.locate_entry(logfile_id, entry_id.timestamp)
+            if position is None:
+                return None
+            global_block, slot = position
+            from repro.core.ids import EntryLocation
 
-        location = EntryLocation(global_block=global_block, slot=slot)
-        return ReadEntry(location=location, entry=self.reader.entry_at(location))
+            location = EntryLocation(global_block=global_block, slot=slot)
+            return ReadEntry(
+                location=location, entry=self.reader.entry_at(location)
+            )
 
     def find_client_entry(
         self, target, client_id: ClientEntryId, max_skew_us: int = 1_000_000
@@ -641,6 +682,44 @@ class LogService:
             except Exception:
                 # Best effort: the in-memory set still knows.
                 pass
+
+    # ------------------------------------------------------------------ #
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------ #
+
+    def enable_observability(self, *, tracing: bool = True, registry=None):
+        """Attach a metrics registry (and, by default, a span tracer).
+
+        Idempotent; safe to call on a running service — the registry's
+        samplers read the live stats objects, so counters reflect the full
+        history, while histograms and traces start from this call.  Returns
+        the registry.
+        """
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.tracing import SpanTracer
+        from repro.obs.wiring import wire_service
+
+        store = self.store
+        if store.metrics is None:
+            store.metrics = registry if registry is not None else MetricsRegistry()
+            store.instruments = wire_service(self)
+        if tracing and not store.tracer.enabled:
+            store.tracer = SpanTracer(store.clock)
+        return store.metrics
+
+    @property
+    def metrics(self):
+        """The service's :class:`~repro.obs.MetricsRegistry` (enabling
+        metrics collection — but not tracing — on first access)."""
+        if self.store.metrics is None:
+            self.enable_observability(tracing=False)
+        return self.store.metrics
+
+    @property
+    def tracer(self):
+        """The service's span tracer (:data:`~repro.obs.NULL_TRACER` until
+        observability is enabled with tracing)."""
+        return self.store.tracer
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -17,6 +17,7 @@ from typing import Callable
 from repro.cache import BlockCache
 from repro.core.catalog import Catalog
 from repro.core.entrymap import EntrymapState
+from repro.obs.tracing import NULL_TRACER
 from repro.vsystem.clock import SimClock
 from repro.vsystem.costs import CostModel
 from repro.worm.device import WormDevice
@@ -110,6 +111,12 @@ class LogStore:
     space: SpaceStats = field(default_factory=SpaceStats)
     #: Called to supply a fresh medium when the active volume fills.
     device_factory: Callable[[], WormDevice] | None = None
+    #: Observability (repro.obs), shared by writer/reader/service.  The
+    #: defaults are the disabled state: a no-op tracer and no registry, so
+    #: the hot paths pay one attribute check per operation.
+    tracer: object = NULL_TRACER
+    metrics: object | None = None
+    instruments: object | None = None
 
     def make_device(self) -> WormDevice:
         """Create a fresh write-once medium per the configuration."""

@@ -247,17 +247,27 @@ class TailWriter:
         bad address are harmless false positives (the reader skips
         invalidated blocks).
         """
+        inst = self.store.instruments
+        if inst is not None:
+            starts = self._builder.fragment_count - (
+                1 if self._builder.cont_in else 0
+            )
+            inst.writer_batch_entries.observe(starts)
         image = self._builder.encode()
-        while True:
-            try:
-                local = self._volume.append_data_block(image)
-                break
-            except CorruptBlockError as exc:
-                bad_local = exc.block - 1  # device block -> data block
-                self._volume.invalidate_data_block(bad_local)
-                self._pending_corrupt_reports.append(
-                    (self._volume_index, bad_local)
-                )
+        with self.store.tracer.span(
+            "device.io", op="write", volume=self._volume_index
+        ) as sp:
+            while True:
+                try:
+                    local = self._volume.append_data_block(image)
+                    break
+                except CorruptBlockError as exc:
+                    bad_local = exc.block - 1  # device block -> data block
+                    self._volume.invalidate_data_block(bad_local)
+                    self._pending_corrupt_reports.append(
+                        (self._volume_index, bad_local)
+                    )
+            sp.set("block", local)
         if local != self._block_addr:
             # Relocated past one or more corrupt blocks: drop the stale
             # tail images cached under the skipped addresses and re-note

@@ -1,0 +1,63 @@
+"""Unified observability: metrics registry, sim-time tracing, exporters.
+
+The paper's evaluation is a set of operation counts and cost-model sums;
+this package exposes those counts from a *live* service uniformly:
+
+* :mod:`repro.obs.registry` — label-aware ``Counter``/``Gauge``/``Histogram``
+  families collected into one :class:`MetricsRegistry`.
+* :mod:`repro.obs.tracing` — nested operation spans timestamped on the
+  :class:`~repro.vsystem.clock.SimClock`, so traces are deterministic.
+* :mod:`repro.obs.export` — Prometheus text exposition and JSON snapshots.
+* :mod:`repro.obs.wiring` — connects a :class:`~repro.core.LogService`'s
+  existing stats objects (``DeviceStats``, ``CacheStats``, ``ReadStats``,
+  ``SpaceStats``, recovery reports) to the registry.
+
+Enable on a service with ``service.enable_observability()`` (or pass
+``observability=True`` to ``LogService.create``/``mount``); disabled, the
+hot paths pay one attribute check per operation.
+"""
+
+from repro.obs.export import json_snapshot, parse_prometheus_text, prometheus_text
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    LabelCardinalityError,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanTracer,
+    format_span_tree,
+)
+from repro.obs.wiring import Instruments, wire_service
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricError",
+    "LabelCardinalityError",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "COUNT_BUCKETS",
+    "Span",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "format_span_tree",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "json_snapshot",
+    "Instruments",
+    "wire_service",
+]

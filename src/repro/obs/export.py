@@ -1,0 +1,180 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+``prometheus_text`` renders a registry in the Prometheus text exposition
+format (version 0.0.4) — the format every scrape-based monitoring stack
+understands — and ``parse_prometheus_text`` parses it back, so tests can
+assert a lossless round trip.  ``json_snapshot`` is the structured form
+attached to benchmark records (``BENCH_*.json``) and printed by
+``repro stats --format json``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.registry import HistogramValue, MetricFamily, MetricsRegistry
+
+__all__ = ["prometheus_text", "parse_prometheus_text", "json_snapshot"]
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, value in family.samples:
+            if isinstance(value, HistogramValue):
+                for bound, cumulative in value.buckets:
+                    le = "+Inf" if bound == math.inf else _format_value(bound)
+                    bucket_labels = labels + (("le", le),)
+                    lines.append(
+                        f"{family.name}_bucket{_render_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_render_labels(labels)} "
+                    f"{_format_value(value.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_render_labels(labels)} {value.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_render_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str) -> tuple[tuple[str, str], ...]:
+    labels = []
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        assert text[eq + 1] == '"', f"malformed label value in {text!r}"
+        j = eq + 2
+        value_chars = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                j += 1
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(text[j], text[j])
+                )
+            else:
+                value_chars.append(text[j])
+            j += 1
+        labels.append((name, "".join(value_chars)))
+        i = j + 1
+    return tuple(labels)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse exposition text back into ``{name: {help, kind, samples}}``.
+
+    ``samples`` maps a sorted label tuple to the sample value; histogram
+    series appear under their ``_bucket``/``_sum``/``_count`` names, as on
+    the wire.  Exists so tests can assert ``prometheus_text`` round-trips.
+    """
+    families: dict[str, dict] = {}
+
+    def family_for(name: str) -> dict:
+        return families.setdefault(
+            name, {"help": "", "kind": "untyped", "samples": {}}
+        )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            family_for(name)["help"] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            family_for(name)["kind"] = kind
+        elif line.startswith("#"):
+            continue
+        else:
+            series, _, value_text = line.rpartition(" ")
+            if "{" in series:
+                name, _, label_text = series.partition("{")
+                labels = _parse_labels(label_text.rstrip("}"))
+            else:
+                name, labels = series, ()
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in families:
+                    base = name[: -len(suffix)]
+                    break
+            family_for(base)["samples"][(name, tuple(sorted(labels)))] = (
+                _parse_value(value_text)
+            )
+    return families
+
+
+def _family_dict(family: MetricFamily) -> dict:
+    samples = []
+    for labels, value in family.samples:
+        sample: dict = {"labels": dict(labels)}
+        if isinstance(value, HistogramValue):
+            sample["buckets"] = [
+                {
+                    "le": ("+Inf" if bound == math.inf else bound),
+                    "count": cumulative,
+                }
+                for bound, cumulative in value.buckets
+            ]
+            sample["sum"] = value.sum
+            sample["count"] = value.count
+        else:
+            sample["value"] = value
+        samples.append(sample)
+    return {
+        "name": family.name,
+        "help": family.help,
+        "kind": family.kind,
+        "samples": samples,
+    }
+
+
+def json_snapshot(registry: MetricsRegistry) -> dict:
+    """A JSON-serializable snapshot of every family in the registry."""
+    return {"families": [_family_dict(f) for f in registry.collect()]}

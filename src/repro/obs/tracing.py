@@ -1,0 +1,222 @@
+"""Sim-time span tracing: deterministic operation traces.
+
+A span records one operation (``append``, ``locate``, ``recovery``,
+``cache.fill``, ``device.io``, ...) with start/end timestamps taken from
+the :class:`~repro.vsystem.clock.SimClock` — never the host clock — so
+the trace of a run is a pure function of its inputs: two identical runs
+produce byte-identical span trees.  That determinism is what makes traces
+usable as *evidence* in benchmarks: a span tree for a cold read shows
+exactly which cache fills and device accesses the paper's cost model says
+it should (Section 3.3's three read steps).
+
+Tracing is disabled by default; the shared :data:`NULL_TRACER` makes every
+instrumentation point a single no-op method call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER", "format_span_tree"]
+
+
+class Span:
+    """One timed operation; children are the operations it performed."""
+
+    __slots__ = (
+        "name",
+        "start_us",
+        "end_us",
+        "attributes",
+        "children",
+        "dropped_children",
+    )
+
+    def __init__(self, name: str, start_us: int, attributes: dict | None = None):
+        self.name = name
+        self.start_us = start_us
+        self.end_us: int | None = None
+        self.attributes: dict = attributes or {}
+        self.children: list["Span"] = []
+        self.dropped_children = 0
+
+    def set(self, key: str, value) -> None:
+        """Attach an attribute discovered mid-span (e.g. a result count)."""
+        self.attributes[key] = value
+
+    @property
+    def duration_us(self) -> int:
+        return (self.end_us if self.end_us is not None else self.start_us) - (
+            self.start_us
+        )
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every descendant span (self included) with the given name."""
+        return [span for span in self.walk() if span.name == name]
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly rendering (used by ``repro trace --format json``)."""
+        out = {
+            "name": self.name,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "attributes": dict(self.attributes),
+            "children": [child.as_dict() for child in self.children],
+        }
+        if self.dropped_children:
+            out["dropped_children"] = self.dropped_children
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, [{self.start_us}..{self.end_us}]us, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _SpanHandle:
+    """Context manager for one live span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.set("error", exc_type.__name__)
+        self._tracer._finish(self._span)
+
+
+class SpanTracer:
+    """Records nested spans against a simulated clock.
+
+    Finished root spans are kept (most recent last) up to ``max_roots``;
+    each span keeps at most ``max_children`` direct children, counting the
+    rest in ``dropped_children`` so wide operations (a recovery scan over
+    thousands of blocks) stay bounded in memory without losing the totals.
+    """
+
+    enabled = True
+
+    def __init__(self, clock, max_roots: int = 64, max_children: int = 512):
+        self._clock = clock
+        self.max_roots = max_roots
+        self.max_children = max_children
+        self._stack: list[Span] = []
+        self._roots: list[Span] = []
+
+    def span(self, name: str, **attributes) -> _SpanHandle:
+        """Open a span; use as ``with tracer.span("append", id=7) as sp:``."""
+        span = Span(name, self._clock.now_us, attributes or None)
+        if self._stack:
+            parent = self._stack[-1]
+            if len(parent.children) < self.max_children:
+                parent.children.append(span)
+            else:
+                parent.dropped_children += 1
+        self._stack.append(span)
+        return _SpanHandle(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end_us = self._clock.now_us
+        # Unwind to (and past) the finished span; tolerates generator-driven
+        # exits finishing an outer span while an abandoned inner one is
+        # still on the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end_us is None:
+                top.end_us = span.end_us
+        if not self._stack:
+            self._roots.append(span)
+            if len(self._roots) > self.max_roots:
+                del self._roots[: len(self._roots) - self.max_roots]
+
+    # -- inspection ------------------------------------------------------
+
+    def recent(self, limit: int | None = None) -> list[Span]:
+        """Finished root spans, oldest first (bounded by ``max_roots``)."""
+        roots = list(self._roots)
+        if limit is not None:
+            roots = roots[-limit:]
+        return roots
+
+    def last(self, name: str | None = None) -> Span | None:
+        """The most recent finished root span (optionally by name)."""
+        for span in reversed(self._roots):
+            if name is None or span.name == name:
+                return span
+        return None
+
+    def clear(self) -> None:
+        self._roots.clear()
+
+
+class _NullSpan:
+    """Inert span yielded when tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every span is the same inert, reused object."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def recent(self, limit: int | None = None) -> list:
+        return []
+
+    def last(self, name: str | None = None) -> None:
+        return None
+
+    def clear(self) -> None:
+        pass
+
+
+#: The shared disabled tracer (the default on every service).
+NULL_TRACER = NullTracer()
+
+
+def format_span_tree(span: Span, indent: str = "") -> str:
+    """Render a span tree as indented text for ``repro trace``."""
+    attrs = " ".join(
+        f"{key}={value}" for key, value in sorted(span.attributes.items())
+    )
+    line = (
+        f"{indent}{span.name}"
+        f"{(' ' + attrs) if attrs else ''}"
+        f"  [{span.start_us}us +{span.duration_us}us]"
+    )
+    lines = [line]
+    for child in span.children:
+        lines.append(format_span_tree(child, indent + "  "))
+    if span.dropped_children:
+        lines.append(f"{indent}  ... ({span.dropped_children} more spans)")
+    return "\n".join(lines)

@@ -74,6 +74,16 @@ class DeviceStats:
             busy_ms=self.busy_ms - earlier.busy_ms,
         )
 
+    def reset(self) -> None:
+        """Zero every counter in place (e.g. between benchmark phases,
+        so a measurement phase starts from a clean slate)."""
+        self.reads = 0
+        self.writes = 0
+        self.invalidations = 0
+        self.tail_queries = 0
+        self.written_probes = 0
+        self.busy_ms = 0.0
+
 
 class BlockDevice(ABC):
     """Abstract block-oriented storage device.

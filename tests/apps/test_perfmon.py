@@ -80,6 +80,50 @@ class TestAggregation:
         assert stats.count == 0
         assert stats.mean == 0.0
 
+    def test_empty_window_extrema_are_none_not_inf(self):
+        service, metrics = make_metrics()
+        metrics.record("other", 1.0)
+        stats = metrics.stats("other", start_us=10**15)
+        assert stats.minimum is None
+        assert stats.maximum is None
+        never = metrics.stats("never_recorded")
+        assert never.minimum is None and never.maximum is None
+
+    def test_fold_from_empty(self):
+        stats = SeriesStats()
+        assert stats.minimum is None and stats.maximum is None
+        stats.fold(5.0)
+        stats.fold(2.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 5.0
+
+
+class TestIngestRegistry:
+    def test_registry_samples_become_series(self):
+        service, metrics = make_metrics()
+        registry = service.metrics  # lazily wires the full catalog
+        recorded = metrics.ingest_registry(registry, prefix="clio.")
+        assert recorded > 0
+        names = metrics.metrics()
+        # Counters/gauges appear as flat series; labelled children carry
+        # their label path; histograms split into .sum/.count.
+        assert "clio.clio_writer_client_entries_total" in names
+        assert "clio.clio_device_reads_total.volume.0" in names
+        assert "clio.clio_append_latency_ms.sum" in names
+        assert "clio.clio_append_latency_ms.count" in names
+
+    def test_repeated_ingestion_builds_a_time_series(self):
+        service, metrics = make_metrics()
+        app = service.create_log_file("/app")
+        registry = service.metrics
+        for round_entries in (3, 5):
+            for i in range(round_entries):
+                app.append(b"x")
+            metrics.ingest_registry(registry, prefix="clio.")
+        series = metrics.stats("clio.clio_writer_client_entries_total")
+        assert series.count == 2
+        assert series.maximum > series.minimum  # the counter moved
+
 
 class TestDurability:
     def test_checkpointed_samples_survive_crash(self):

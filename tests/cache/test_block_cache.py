@@ -132,6 +132,18 @@ class TestHitRatio:
         assert d.hits == 1
         assert d.misses == 1
 
+    def test_reset_zeroes_counters_but_keeps_contents(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.get("a", loader(b"1"))
+        cache.get("a", loader(b"1"))
+        cache.stats.reset()
+        assert cache.stats.accesses == 0
+        assert cache.stats.hit_ratio == 0.0
+        assert cache.stats.insertions == 0 and cache.stats.evictions == 0
+        # Resetting counters does not drop cached blocks.
+        assert cache.get("a", loader(b"WRONG")) == b"1"
+        assert cache.stats.hits == 1
+
 
 class TestCacheProperties:
     @given(

@@ -1,0 +1,99 @@
+"""Integration tests for ``repro stats`` / ``repro trace`` against a
+file-backed store directory (the ``make obs-demo`` walkthrough)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import parse_prometheus_text
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A small file-backed store with a few appended entries."""
+    path = str(tmp_path / "store")
+    assert main(["init", path, "--block-size", "512", "--degree", "8"]) == 0
+    assert main(["create", path, "/app"]) == 0
+    for i in range(8):
+        assert main(["append", path, "/app", f"event {i}"]) == 0
+    return path
+
+
+def run(capsys, *argv) -> str:
+    capsys.readouterr()
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_table_lists_every_metric_family_group(self, store, capsys):
+        out = run(capsys, "stats", store, "--touch", "/app")
+        # One representative per required family group: device, cache,
+        # writer, locate, recovery.
+        assert "clio_device_reads_total" in out
+        assert "clio_cache_misses_total" in out
+        assert "clio_writer_client_entries_total" in out
+        assert "clio_locate_entrymap_entries_examined_total" in out
+        assert "clio_recovery_blocks_scanned_total" in out
+
+    def test_figure3_and_figure4_counters_present(self, store, capsys):
+        out = run(capsys, "stats", store, "--touch", "/app")
+        # Figure 3's y-axis: entrymap entries examined per locate.
+        assert "clio_locate_entrymap_entries_examined_total" in out
+        # Figure 4's y-axis: blocks examined reconstructing the entrymap.
+        assert "clio_recovery_blocks_scanned_total" in out
+
+    def test_prometheus_format_parses_and_counts_moved(self, store, capsys):
+        out = run(capsys, "stats", store, "--format", "prometheus", "--touch", "/app")
+        families = parse_prometheus_text(out)
+        assert families["clio_device_reads_total"]["kind"] == "counter"
+        reads = sum(
+            value
+            for (name, _), value in families["clio_device_reads_total"][
+                "samples"
+            ].items()
+            if name == "clio_device_reads_total"
+        )
+        assert reads > 0
+        recovery = families["clio_recovery_blocks_scanned_total"]["samples"]
+        assert sum(recovery.values()) > 0
+
+    def test_json_format(self, store, capsys):
+        out = run(capsys, "stats", store, "--format", "json")
+        snap = json.loads(out)
+        names = {family["name"] for family in snap["families"]}
+        assert "clio_cache_hit_ratio" in names
+        assert "clio_recovery_blocks_scanned_total" in names
+
+
+class TestTraceCommand:
+    def test_mount_recovery_span_rendered(self, store, capsys):
+        out = run(capsys, "trace", store)
+        assert "recovery" in out
+        assert "recovery.rebuild_entrymap" in out
+        assert "us]" in out  # sim-time stamps, not wall time
+
+    def test_read_span_with_entry_count(self, store, capsys):
+        out = run(capsys, "trace", store, "--read", "/app")
+        assert "read entries=8 path=/app" in out
+
+    def test_json_format_is_span_dicts(self, store, capsys):
+        out = run(capsys, "trace", store, "--read", "/app", "--format", "json")
+        roots = json.loads(out)
+        names = [root["name"] for root in roots]
+        assert "recovery" in names and "read" in names
+        read = next(root for root in roots if root["name"] == "read")
+        assert read["attributes"]["entries"] == 8
+        assert read["end_us"] >= read["start_us"]
+
+    def test_limit(self, store, capsys):
+        out = run(capsys, "trace", store, "--read", "/app", "--limit", "1")
+        # Only the most recent root (the read) survives the limit.
+        assert "read entries=8" in out
+        assert "recovery.find_tail" not in out
+
+    def test_trace_is_deterministic_across_runs(self, store, capsys):
+        first = run(capsys, "trace", store, "--read", "/app")
+        second = run(capsys, "trace", store, "--read", "/app")
+        assert first == second

@@ -1,0 +1,89 @@
+"""Tests for the Prometheus text exposition and JSON snapshot exporters."""
+
+import json
+import math
+
+from repro.obs import (
+    MetricsRegistry,
+    json_snapshot,
+    parse_prometheus_text,
+    prometheus_text,
+)
+
+
+def build_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reads = reg.counter(
+        "clio_device_reads_total", help="Blocks read", labelnames=("volume",)
+    )
+    reads.labels(volume="0").inc(7)
+    reads.labels(volume="1").inc(2)
+    reg.gauge("clio_cache_hit_ratio", help="Hit ratio").set(0.75)
+    lat = reg.histogram("clio_append_ms", help="Append latency", buckets=(1, 5))
+    for value in (0.5, 2.0, 99.0):
+        lat.observe(value)
+    return reg
+
+
+class TestPrometheusText:
+    def test_help_type_and_samples_rendered(self):
+        text = prometheus_text(build_registry())
+        assert "# HELP clio_device_reads_total Blocks read" in text
+        assert "# TYPE clio_device_reads_total counter" in text
+        assert 'clio_device_reads_total{volume="0"} 7' in text
+        assert "clio_cache_hit_ratio 0.75" in text
+
+    def test_histogram_series_cumulative_with_inf(self):
+        text = prometheus_text(build_registry())
+        assert 'clio_append_ms_bucket{le="1"} 1' in text
+        assert 'clio_append_ms_bucket{le="5"} 2' in text
+        assert 'clio_append_ms_bucket{le="+Inf"} 3' in text
+        assert "clio_append_ms_sum 101.5" in text
+        assert "clio_append_ms_count 3" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        c = reg.counter("esc_total", labelnames=("path",))
+        c.labels(path='a"b\\c\nd').inc()
+        text = prometheus_text(reg)
+        assert 'esc_total{path="a\\"b\\\\c\\nd"} 1' in text
+        parsed = parse_prometheus_text(text)
+        ((name, labels),) = parsed["esc_total"]["samples"]
+        assert labels == (("path", 'a"b\\c\nd'),)
+
+    def test_round_trip(self):
+        reg = build_registry()
+        parsed = parse_prometheus_text(prometheus_text(reg))
+        fam = parsed["clio_device_reads_total"]
+        assert fam["kind"] == "counter"
+        assert fam["help"] == "Blocks read"
+        assert fam["samples"][
+            ("clio_device_reads_total", (("volume", "0"),))
+        ] == 7
+        hist = parsed["clio_append_ms"]["samples"]
+        assert hist[("clio_append_ms_bucket", (("le", "+Inf"),))] == 3
+        assert hist[("clio_append_ms_sum", ())] == 101.5
+        assert hist[("clio_append_ms_count", ())] == 3
+
+    def test_parse_handles_inf_values(self):
+        parsed = parse_prometheus_text("x_now +Inf\ny_now -Inf\n")
+        assert parsed["x_now"]["samples"][("x_now", ())] == math.inf
+        assert parsed["y_now"]["samples"][("y_now", ())] == -math.inf
+
+
+class TestJsonSnapshot:
+    def test_snapshot_is_json_serializable_and_complete(self):
+        snap = json_snapshot(build_registry())
+        encoded = json.loads(json.dumps(snap))
+        names = [f["name"] for f in encoded["families"]]
+        assert names == sorted(names)
+        by_name = {f["name"]: f for f in encoded["families"]}
+        reads = by_name["clio_device_reads_total"]
+        assert reads["kind"] == "counter"
+        assert {"labels": {"volume": "0"}, "value": 7.0} in reads["samples"]
+        (hist_sample,) = by_name["clio_append_ms"]["samples"]
+        assert hist_sample["count"] == 3
+        assert hist_sample["buckets"][-1] == {"le": "+Inf", "count": 3}
+
+    def test_snapshot_deterministic(self):
+        assert json_snapshot(build_registry()) == json_snapshot(build_registry())

@@ -1,0 +1,185 @@
+"""Tests for sim-time span tracing: nesting, bounds, determinism, and the
+span-tree/counter cross-check for one append plus one cold read."""
+
+from repro.core import LogService
+from repro.obs import NULL_TRACER, SpanTracer, format_span_tree
+
+
+class FakeClock:
+    """Minimal stand-in exposing the SimClock attribute the tracer reads."""
+
+    def __init__(self):
+        self.now_us = 0
+
+    def tick(self, us: int = 1) -> None:
+        self.now_us += us
+
+
+class TestSpanTracer:
+    def test_nesting_and_timestamps(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock)
+        with tracer.span("append", logfile_id=7) as outer:
+            clock.tick(100)
+            with tracer.span("device.io", op="write"):
+                clock.tick(50)
+            outer.set("bytes", 10)
+        root = tracer.last("append")
+        assert root is outer
+        assert root.attributes == {"logfile_id": 7, "bytes": 10}
+        assert (root.start_us, root.end_us, root.duration_us) == (0, 150, 150)
+        (child,) = root.children
+        assert child.name == "device.io"
+        assert (child.start_us, child.end_us) == (100, 150)
+
+    def test_exception_recorded_and_span_finished(self):
+        tracer = SpanTracer(FakeClock())
+        try:
+            with tracer.span("read"):
+                raise KeyError("missing")
+        except KeyError:
+            pass
+        root = tracer.last("read")
+        assert root.attributes["error"] == "KeyError"
+        assert root.end_us is not None
+
+    def test_walk_and_find(self):
+        tracer = SpanTracer(FakeClock())
+        with tracer.span("recovery"):
+            with tracer.span("recovery.find_tail"):
+                pass
+            with tracer.span("recovery.rebuild_entrymap"):
+                with tracer.span("device.io"):
+                    pass
+        root = tracer.last()
+        assert [s.name for s in root.walk()] == [
+            "recovery",
+            "recovery.find_tail",
+            "recovery.rebuild_entrymap",
+            "device.io",
+        ]
+        assert len(root.find("device.io")) == 1
+
+    def test_root_and_child_bounds(self):
+        tracer = SpanTracer(FakeClock(), max_roots=2, max_children=3)
+        for i in range(5):
+            with tracer.span(f"op{i}"):
+                pass
+        assert [s.name for s in tracer.recent()] == ["op3", "op4"]
+        with tracer.span("wide") as wide:
+            for _ in range(10):
+                with tracer.span("child"):
+                    pass
+        assert len(wide.children) == 3
+        assert wide.dropped_children == 7
+        assert "(7 more spans)" in format_span_tree(wide)
+
+    def test_recent_limit_and_clear(self):
+        tracer = SpanTracer(FakeClock())
+        for i in range(4):
+            with tracer.span(f"op{i}"):
+                pass
+        assert [s.name for s in tracer.recent(limit=2)] == ["op2", "op3"]
+        tracer.clear()
+        assert tracer.recent() == []
+        assert tracer.last() is None
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("append", x=1) as span:
+            span.set("y", 2)
+        with NULL_TRACER.span("read") as again:
+            assert again is span  # one shared object, nothing recorded
+        assert NULL_TRACER.recent() == []
+        assert NULL_TRACER.last("append") is None
+
+
+def make_service(**kwargs):
+    defaults = dict(
+        block_size=256,
+        degree_n=4,
+        volume_capacity_blocks=1024,
+        cache_capacity_blocks=512,
+        observability=True,
+    )
+    defaults.update(kwargs)
+    return LogService.create(**defaults)
+
+
+def run_workload():
+    service = make_service()
+    log = service.create_log_file("/app")
+    for i in range(20):
+        log.append(f"entry {i}".encode())
+    result = log.append(b"final", force=True)
+    log.read(result.entry_id)
+    return service
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_span_trees(self):
+        first = run_workload()
+        second = run_workload()
+        render = lambda svc: "\n".join(
+            format_span_tree(root) for root in svc.tracer.recent()
+        )
+        assert render(first) == render(second)
+        assert first.tracer.recent()  # the comparison was not vacuous
+
+
+class TestSpanTreeMatchesCounters:
+    def test_append_and_cold_read_spans_match_device_and_cache_counts(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        for i in range(30):
+            log.append(f"warmup {i}".encode())
+        target = log.append(b"the entry we will read cold", force=True)
+
+        # Crash and remount: the cache is volatile, so the next read is cold.
+        remains = service.crash()
+        mounted, _report = LogService.mount(
+            remains.devices, remains.nvram, observability=True
+        )
+        assert mounted.tracer.last("recovery") is not None
+
+        mounted.tracer.clear()
+        # Recovery's entrymap scan warmed the cache; empty it so the read
+        # below is genuinely cold.
+        mounted.store.cache.clear()
+        cache = mounted.store.cache.stats
+        device = mounted.devices[0].stats
+        cache_before = cache.snapshot()
+        device_before = device.snapshot()
+
+        entry = mounted.read_entry("/app", target.entry_id)
+        assert entry is not None and entry.data == b"the entry we will read cold"
+
+        read_span = mounted.tracer.last("read")
+        assert read_span is not None
+        fills = read_span.find("cache.fill")
+        device_reads = [
+            s for s in read_span.find("device.io") if s.attributes["op"] == "read"
+        ]
+        cache_delta = cache.delta(cache_before)
+        device_delta = device.delta(device_before)
+        assert len(fills) == cache_delta.misses > 0
+        assert len(device_reads) == device_delta.reads > 0
+        # Every device read happened inside a cache fill; the fill records
+        # which block it loaded.
+        for fill in fills:
+            assert "block" in fill.attributes
+
+    def test_append_span_accounts_for_block_writes(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        device = service.devices[0].stats
+        before = device.snapshot()
+        service.tracer.clear()
+        log.append(b"x" * 600, force=True)  # spans >2 blocks at 256 B/block
+        append_span = service.tracer.last("append")
+        writes = [
+            s
+            for s in append_span.find("device.io")
+            if s.attributes["op"] == "write"
+        ]
+        assert len(writes) == device.delta(before).writes >= 2

@@ -197,6 +197,29 @@ class TestCrashingDevice:
             dev.reincarnate()
 
 
+class TestDeviceStatsReset:
+    def test_reset_zeroes_every_counter(self):
+        dev = make_device()
+        dev.append_block(block(1))
+        dev.read_block(0)
+        dev.is_written(0)
+        dev.query_tail()
+        dev.invalidate(5)
+        stats = dev.stats
+        assert stats.writes and stats.reads and stats.written_probes
+        assert stats.tail_queries and stats.invalidations
+        stats.reset()
+        assert stats == type(stats)()  # every field back to its default
+
+    def test_reset_does_not_disturb_device_state(self):
+        dev = make_device()
+        dev.append_block(block(1))
+        dev.stats.reset()
+        assert dev.read_block(0) == block(1)
+        assert dev.next_writable == 1
+        assert dev.stats.reads == 1  # counting resumes from zero
+
+
 class TestRewritableDevice:
     def test_rewrites_allowed(self):
         dev = RewritableDevice(block_size=BS, capacity_blocks=8)
