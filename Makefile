@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples fsck-demo obs-demo outputs clean
+.PHONY: install test bench bench-tables examples fsck-demo obs-demo health-demo outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -34,6 +34,19 @@ obs-demo:
 	done
 	PYTHONPATH=src $(PYTHON) -m repro stats /tmp/clio-obs-demo --touch /app
 	PYTHONPATH=src $(PYTHON) -m repro trace /tmp/clio-obs-demo --read /app
+
+# Diagnosis walkthrough: build a store, then run the event journal, the
+# cost-attribution profiler, and the SLO health checks over it.
+health-demo:
+	rm -rf /tmp/clio-health-demo
+	PYTHONPATH=src $(PYTHON) -m repro init /tmp/clio-health-demo --block-size 512 --degree 8
+	PYTHONPATH=src $(PYTHON) -m repro create /tmp/clio-health-demo /login
+	@for i in 1 2 3 4 5 6 7 8 9 10 11 12; do \
+		PYTHONPATH=src $(PYTHON) -m repro append /tmp/clio-health-demo /login "user$$i logged in" || exit 1; \
+	done
+	PYTHONPATH=src $(PYTHON) -m repro events /tmp/clio-health-demo --limit 12
+	PYTHONPATH=src $(PYTHON) -m repro profile /tmp/clio-health-demo --read /login
+	PYTHONPATH=src $(PYTHON) -m repro health /tmp/clio-health-demo --read /login
 
 # The final artifacts recorded in the repository.
 outputs:

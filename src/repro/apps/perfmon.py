@@ -73,6 +73,7 @@ class MetricsLog:
         except Exception:
             self.root = service.create_log_file(root_path)
         self._sublogs: dict[str, object] = {}
+        self._last_ingested: dict[str, float] = {}
 
     def _sublog(self, metric: str):
         if metric not in self._sublogs:
@@ -108,22 +109,33 @@ class MetricsLog:
         as its ``.sum`` and ``.count`` series.  Returns the number of
         samples recorded.  Pair with :meth:`checkpoint` to make a
         reporting period durable.
+
+        Ingestion is idempotent per series: a value identical to the one
+        last ingested for that series is skipped, so re-ingesting an
+        unchanged snapshot appends nothing (and a series only grows when
+        it actually moves).
         """
         from repro.obs.registry import HistogramValue
 
         recorded = 0
+
+        def record_changed(name: str, value: float) -> int:
+            if self._last_ingested.get(name) == value:
+                return 0
+            self._last_ingested[name] = value
+            self.record(name, value)
+            return 1
+
         for family in registry.collect():
             for labels, value in family.samples:
                 name = prefix + family.name
                 for label_name, label_value in labels:
                     name += f".{label_name}.{label_value}"
                 if isinstance(value, HistogramValue):
-                    self.record(f"{name}.sum", value.sum)
-                    self.record(f"{name}.count", value.count)
-                    recorded += 2
+                    recorded += record_changed(f"{name}.sum", value.sum)
+                    recorded += record_changed(f"{name}.count", value.count)
                 else:
-                    self.record(name, value)
-                    recorded += 1
+                    recorded += record_changed(name, value)
         return recorded
 
     # -- querying ------------------------------------------------------------------

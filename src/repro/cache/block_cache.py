@@ -35,6 +35,9 @@ class BlockCache:
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, bytes] = OrderedDict()
         self._pinned: set[Hashable] = set()
+        #: Optional ``(key)`` callback invoked after each LRU eviction —
+        #: the event journal's hook (:mod:`repro.obs.events`).
+        self.on_evict = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -110,6 +113,8 @@ class BlockCache:
                 break
             del self._entries[victim]
             self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
 
     def _find_victim(self, exclude: Hashable) -> Hashable | None:
         # Never evict the block being inserted, even under full pin pressure.

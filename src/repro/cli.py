@@ -242,7 +242,10 @@ def _render_stats_table(service: LogService) -> None:
                     continue  # an unobserved histogram is noise in a table
                 mean = value.sum / value.count
                 rendered = (
-                    f"count={value.count} sum={value.sum:g} mean={mean:g}"
+                    f"count={value.count} sum={value.sum:g} mean={mean:g} "
+                    f"p50={value.quantile(0.50):g} "
+                    f"p95={value.quantile(0.95):g} "
+                    f"p99={value.quantile(0.99):g}"
                 )
             elif float(value).is_integer():
                 rendered = str(int(value))
@@ -264,6 +267,20 @@ def cmd_stats(args) -> int:
         for path in args.touch:
             for _ in service.read_entries(path):
                 break
+    if args.watch is not None:
+        # Replay the whole store as a read workload, re-rendering the
+        # table every --watch milliseconds of *simulated* time: a live
+        # dashboard over a deterministic clock.
+        next_render_ms = service.now_ms + args.watch
+        for _ in service.read_entries("/"):
+            if service.now_ms >= next_render_ms:
+                print(f"--- sim t={service.now_ms:.3f}ms ---")
+                _render_stats_table(service)
+                while next_render_ms <= service.now_ms:
+                    next_render_ms += args.watch
+        print(f"--- sim t={service.now_ms:.3f}ms (replay complete) ---")
+        _render_stats_table(service)
+        return 0
     from repro.obs.export import json_snapshot, prometheus_text
 
     if args.format == "prometheus":
@@ -304,6 +321,109 @@ def cmd_trace(args) -> int:
         for span in roots:
             print(format_span_tree(span))
     return 0
+
+
+def cmd_events(args) -> int:
+    """The structured event journal for a mount (and optional reads).
+
+    Mounting itself emits the recovery-phase events, so even a bare
+    ``clio events STORE`` shows the store's latest recovery as a timeline.
+    """
+    from repro.obs.events import EventLog, format_event
+
+    service = _mount(args.store, read_only=True, observability=True)
+    if args.read:
+        for path in args.read:
+            for _ in service.read_entries(path):
+                pass
+    if args.persisted:
+        try:
+            events = EventLog(service).read_back()
+        except Exception:
+            print("no persisted /events log in this store", file=sys.stderr)
+            return 1
+    else:
+        events = service.journal.events()
+    if args.kind:
+        events = [event for event in events if event.kind == args.kind]
+    if args.limit is not None:
+        events = events[-args.limit :]
+    if not events:
+        print("no events recorded")
+        return 0
+    for event in events:
+        print(format_event(event))
+    dropped = getattr(service.journal, "dropped", 0)
+    if not args.persisted and dropped:
+        print(f"({dropped} older events dropped from the ring)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Cost-attribution profile: where the simulated time of a workload
+    went, by operation and cost-model component (Section 3's
+    decomposition, live)."""
+    from repro.obs.profile import format_profile, profile_roots
+
+    service = _mount(args.store, read_only=True, observability=True)
+    # Every root span matters for attribution; don't let a long workload
+    # evict the early ones.
+    service.tracer.max_roots = 1_000_000
+    for path in args.read or ["/"]:
+        for _ in range(args.repeat):
+            with service.tracer.span("read", path=path) as sp:
+                count = sum(1 for _ in service.read_entries(path))
+                sp.set("entries", count)
+    breakdowns = profile_roots(service.tracer.recent())
+    print(format_profile(breakdowns))
+    return 0
+
+
+def cmd_health(args) -> int:
+    """Evaluate SLO rules against a store; nonzero exit when alerts fire.
+
+    The default ruleset checks the paper's own bounds (recovery and locate
+    model deltas) plus cache and corruption health; ``--rule`` adds custom
+    threshold/ratio rules (see ``repro.obs.slo.parse_rule`` for syntax).
+    """
+    from repro.obs.slo import (
+        AlertLog,
+        SloEngine,
+        default_ruleset,
+        format_alert,
+        parse_rule,
+    )
+
+    service = _mount(
+        args.store, read_only=not args.persist, observability=True
+    )
+    if args.read:
+        for path in args.read:
+            for _ in service.read_entries(path):
+                pass
+    rules = default_ruleset()
+    for spec in args.rule or []:
+        rules.append(parse_rule(spec))
+    alert_log = AlertLog(service) if args.persist else None
+    engine = SloEngine(service, rules=rules, alert_log=alert_log)
+    fired = engine.evaluate()
+    if args.show_log:
+        try:
+            from repro.obs.slo import AlertLog as _AlertLog
+
+            history = _AlertLog(service).read_back()
+        except Exception:
+            history = []
+        for alert in history:
+            print(f"(history) {format_alert(alert)}")
+    if not fired:
+        print(f"healthy: {len(rules)} rules evaluated, 0 alerts")
+        return 0
+    for alert in fired:
+        print(format_alert(alert))
+    if args.persist:
+        print(f"({len(fired)} alerts appended to /alerts)")
+    return 1
 
 
 # ---------------------------------------------------------------------- #
@@ -385,6 +505,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="read one entry of PATH first so locate/cache counters move "
         "(repeatable)",
     )
+    p.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SIM_MS",
+        help="replay the store as a read workload, re-rendering the table "
+        "every SIM_MS milliseconds of simulated time",
+    )
     p.set_defaults(handler=cmd_stats)
 
     p = commands.add_parser(
@@ -400,6 +528,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=None, help="show at most N trees")
     p.add_argument("--format", choices=("tree", "json"), default="tree")
     p.set_defaults(handler=cmd_trace)
+
+    p = commands.add_parser(
+        "events", help="structured event journal for a mount"
+    )
+    p.add_argument("store")
+    p.add_argument(
+        "--read",
+        action="append",
+        metavar="PATH",
+        help="also read PATH so its events appear (repeatable)",
+    )
+    p.add_argument("--kind", help="only events of this kind")
+    p.add_argument("--limit", type=int, default=None, help="newest N events")
+    p.add_argument(
+        "--persisted",
+        action="store_true",
+        help="read back the durable /events log instead of the live ring",
+    )
+    p.set_defaults(handler=cmd_events)
+
+    p = commands.add_parser(
+        "profile",
+        help="per-operation cost breakdown (Section 3's decomposition)",
+    )
+    p.add_argument("store")
+    p.add_argument(
+        "--read",
+        action="append",
+        metavar="PATH",
+        help="profile full reads of PATH (repeatable; default: /)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=1, help="read each path N times"
+    )
+    p.set_defaults(handler=cmd_profile)
+
+    p = commands.add_parser(
+        "health", help="evaluate SLO rules; nonzero exit on alerts"
+    )
+    p.add_argument("store")
+    p.add_argument(
+        "--rule",
+        action="append",
+        metavar="SPEC",
+        help="extra rule, e.g. 'clio_cache_hit_ratio < 0.5 [critical]' "
+        "(repeatable)",
+    )
+    p.add_argument(
+        "--read",
+        action="append",
+        metavar="PATH",
+        help="read PATH first so read-side rules see traffic (repeatable)",
+    )
+    p.add_argument(
+        "--persist",
+        action="store_true",
+        help="append fired alerts to the /alerts sublog (writable mount)",
+    )
+    p.add_argument(
+        "--show-log",
+        action="store_true",
+        help="also print previously persisted alerts from /alerts",
+    )
+    p.set_defaults(handler=cmd_health)
 
     return parser
 

@@ -186,8 +186,8 @@ class LogReader:
                     busy_before = volume.device.stats.busy_ms
                     data = volume.read_data_block(local_block)
                     self.stats.device_reads += 1
-                    self.store.clock.advance_ms(
-                        volume.device.stats.busy_ms - busy_before
+                    self.store.charge(
+                        "device", volume.device.stats.busy_ms - busy_before
                     )
                 return data
 
@@ -203,12 +203,15 @@ class LogReader:
             else:
                 raise
         self.stats.block_accesses += 1
-        self.store.clock.advance_ms(self.store.costs.cached_block_ms)
+        self.store.charge("cache_interpret", self.store.costs.cached_block_ms)
         try:
             return parse_block(data)
         except BlockFormatError:
             self.stats.corrupt_blocks_found += 1
             self.store.cache.invalidate(key)
+            self.store.journal.emit(
+                "block.corrupt", volume=volume_index, block=local_block
+            )
             if self._on_corrupt is not None:
                 self._on_corrupt(volume_index, local_block)
             return None

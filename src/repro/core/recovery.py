@@ -76,6 +76,10 @@ class RecoveryReport:
     catalog_records_replayed: int = 0
     corrupted_blocks_known: int = 0
     nvram_tail_recovered: bool = False
+    #: The crash flight recorder: every event the journal captured during
+    #: this recovery pass (empty unless events are enabled — see
+    #: :mod:`repro.obs.events`).
+    flight_recorder: list = field(default_factory=list)
 
     @property
     def total_blocks_examined(self) -> int:

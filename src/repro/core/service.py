@@ -250,6 +250,10 @@ class LogService:
         The service instance becomes unusable; the returned non-volatile
         remains can be passed to :meth:`mount`.
         """
+        self.store.journal.emit(
+            "service.crash",
+            nvram=self.store.nvram is not None,
+        )
         self._crashed = True
         if self.store.nvram is not None:
             self.store.nvram.crash()
@@ -261,6 +265,7 @@ class LogService:
 
     def shutdown(self) -> CrashRemains:
         """Clean shutdown: the tail block is flushed to the device first."""
+        self.store.journal.emit("service.shutdown")
         self.writer.flush()
         return self.crash()
 
@@ -281,6 +286,10 @@ class LogService:
         report = RecoveryReport()
         store = self.store
         active_index = len(store.sequence.volumes) - 1
+        flight_start = store.journal.next_seq
+        store.journal.emit(
+            "recovery.begin", volumes=len(store.sequence.volumes)
+        )
 
         with store.tracer.span("recovery", volumes=len(store.sequence.volumes)) as root:
             # Step 1: locate the end of the written portion of each volume.
@@ -293,6 +302,9 @@ class LogService:
                 stats.tail_probes = probes
                 tails.append(last)
                 report.volumes.append(stats)
+                store.journal.emit(
+                    "recovery.find_tail", volume=index, tail=last, probes=probes
+                )
 
             # Adopt the NVRAM tail image if it continues the active volume.
             if store.nvram is not None:
@@ -307,6 +319,11 @@ class LogService:
                         )
                         tails[active_index] += 1
                         report.nvram_tail_recovered = True
+                        store.journal.emit(
+                            "recovery.nvram_tail",
+                            volume=active_index,
+                            block=tails[active_index],
+                        )
 
             # Step 2: reconstruct entrymap accumulators, volume by volume.
             for index in range(len(store.sequence.volumes)):
@@ -317,6 +334,11 @@ class LogService:
                         store, self.reader, index, tails[index], report.volumes[index]
                     )
                     sp.set("blocks_scanned", report.volumes[index].blocks_examined)
+                store.journal.emit(
+                    "recovery.rebuild_entrymap",
+                    volume=index,
+                    blocks_scanned=report.volumes[index].blocks_examined,
+                )
 
             # Timestamps must keep increasing across reboots (they uniquely
             # identify entries and order the time search); advance the clock
@@ -329,6 +351,10 @@ class LogService:
                     self.reader, store.catalog
                 )
                 sp.set("records", report.catalog_records_replayed)
+            store.journal.emit(
+                "recovery.replay_catalog",
+                records=report.catalog_records_replayed,
+            )
 
             # The level-1 rescan above ran before the catalog existed, so sublog
             # ancestor bits may be missing from the accumulators; redo the
@@ -341,6 +367,18 @@ class LogService:
             report.corrupted_blocks_known = len(self.known_corrupt_blocks)
             root.set("blocks_scanned", report.total_blocks_examined)
             root.set("catalog_records", report.catalog_records_replayed)
+        store.journal.emit(
+            "recovery.complete",
+            blocks_scanned=report.total_blocks_examined,
+            catalog_records=report.catalog_records_replayed,
+        )
+        # The crash flight recorder: attach every event this recovery pass
+        # emitted (device reads, phase transitions, corruption findings).
+        report.flight_recorder = [
+            event
+            for event in store.journal.events()
+            if event.seq >= flight_start
+        ]
         self.last_recovery_report = report
         return report
 
@@ -361,7 +399,7 @@ class LogService:
             if found:
                 break
         if store.clock.now_us <= newest:
-            store.clock.advance_us(newest - store.clock.now_us + 1000)
+            store.charge_us("clock_resume", newest - store.clock.now_us + 1000)
 
     # ------------------------------------------------------------------ #
     # Naming and catalog operations
@@ -511,10 +549,12 @@ class LogService:
 
     def _charge_write(self, data_len: int) -> None:
         costs = self.store.costs
-        self.store.clock.advance_ms(
-            costs.ipc_ms(self.store.config.remote_clients)
-            + costs.write_fixed_ms
-            + costs.copy_per_byte_ms * data_len
+        self.store.charge_many(
+            [
+                ("ipc", costs.ipc_ms(self.store.config.remote_clients)),
+                ("write_fixed", costs.write_fixed_ms),
+                ("copy", costs.copy_per_byte_ms * data_len),
+            ]
         )
 
     # ------------------------------------------------------------------ #
@@ -623,8 +663,11 @@ class LogService:
 
     def _charge_read_call(self) -> None:
         costs = self.store.costs
-        self.store.clock.advance_ms(
-            costs.ipc_ms(self.store.config.remote_clients) + costs.read_fixed_ms
+        self.store.charge_many(
+            [
+                ("ipc", costs.ipc_ms(self.store.config.remote_clients)),
+                ("read_fixed", costs.read_fixed_ms),
+            ]
         )
 
     # ------------------------------------------------------------------ #
@@ -635,10 +678,12 @@ class LogService:
         """Dismount a sealed predecessor volume (archival shelf storage)."""
         self._check_alive()
         self.store.sequence.volumes[volume_index].take_offline()
+        self.store.journal.emit("volume.offline", volume=volume_index)
 
     def bring_volume_online(self, volume_index: int) -> None:
         self._check_alive()
         self.store.sequence.volumes[volume_index].bring_online()
+        self.store.journal.emit("volume.online", volume=volume_index)
 
     def _handle_volume_demand(self, volume_index: int) -> bool:
         """Automatic on-demand mounting: consult the operator hook."""
@@ -648,6 +693,7 @@ class LogService:
         if handler(volume_index):
             self.store.sequence.volumes[volume_index].bring_online()
             self.demand_mounts += 1
+            self.store.journal.emit("volume.demand_mount", volume=volume_index)
             return True
         return False
 
@@ -687,14 +733,18 @@ class LogService:
     # Observability (repro.obs)
     # ------------------------------------------------------------------ #
 
-    def enable_observability(self, *, tracing: bool = True, registry=None):
-        """Attach a metrics registry (and, by default, a span tracer).
+    def enable_observability(
+        self, *, tracing: bool = True, registry=None, events: bool = True
+    ):
+        """Attach a metrics registry (and, by default, a span tracer and an
+        event journal).
 
         Idempotent; safe to call on a running service — the registry's
         samplers read the live stats objects, so counters reflect the full
-        history, while histograms and traces start from this call.  Returns
-        the registry.
+        history, while histograms, traces and events start from this call.
+        Returns the registry.
         """
+        from repro.obs.events import EventJournal
         from repro.obs.registry import MetricsRegistry
         from repro.obs.tracing import SpanTracer
         from repro.obs.wiring import wire_service
@@ -705,6 +755,13 @@ class LogService:
             store.instruments = wire_service(self)
         if tracing and not store.tracer.enabled:
             store.tracer = SpanTracer(store.clock)
+        if events and not store.journal.enabled:
+            journal = EventJournal(store.clock)
+            store.journal = journal
+            store.bind_device_events()
+            store.cache.on_evict = lambda block: journal.emit(
+                "cache.evict", block=block
+            )
         return store.metrics
 
     @property
@@ -720,6 +777,12 @@ class LogService:
         """The service's span tracer (:data:`~repro.obs.NULL_TRACER` until
         observability is enabled with tracing)."""
         return self.store.tracer
+
+    @property
+    def journal(self):
+        """The service's event journal (:data:`~repro.obs.NULL_JOURNAL`
+        until observability is enabled with events)."""
+        return self.store.journal
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -17,6 +17,7 @@ from typing import Callable
 from repro.cache import BlockCache
 from repro.core.catalog import Catalog
 from repro.core.entrymap import EntrymapState
+from repro.obs.events import NULL_JOURNAL
 from repro.obs.tracing import NULL_TRACER
 from repro.vsystem.clock import SimClock
 from repro.vsystem.costs import CostModel
@@ -26,6 +27,15 @@ from repro.worm.nvram import NvramTail
 from repro.worm.volume import VolumeSequence
 
 __all__ = ["LogStore", "SpaceStats", "StoreConfig"]
+
+
+def _device_sink(journal, volume_index: int):
+    """An event sink closure for one volume's device."""
+
+    def sink(op: str, block: int) -> None:
+        journal.emit(f"device.{op}", volume=volume_index, block=block)
+
+    return sink
 
 
 @dataclass(slots=True)
@@ -117,6 +127,47 @@ class LogStore:
     tracer: object = NULL_TRACER
     metrics: object | None = None
     instruments: object | None = None
+    journal: object = NULL_JOURNAL
+
+    def charge(self, component: str, ms: float) -> None:
+        """Advance the simulated clock by ``ms`` and attribute the time to
+        the innermost open span under ``component`` (the profiler's input).
+        """
+        self.clock.advance_ms(ms)
+        self.tracer.charge(component, ms)
+
+    def charge_us(self, component: str, us: int) -> None:
+        """Like :meth:`charge` but in integer microseconds (exact)."""
+        self.clock.advance_us(us)
+        self.tracer.charge(component, us / 1000.0)
+
+    def charge_many(self, parts: list[tuple[str, float]]) -> None:
+        """Charge several components under one clock advance.
+
+        The clock moves once by the sum — byte-identical timing to the
+        pre-profiler single-advance call sites — while the tracer still
+        sees the per-component split.
+        """
+        total = 0.0
+        for _component, ms in parts:
+            total += ms
+        self.clock.advance_ms(total)
+        tracer = self.tracer
+        if tracer.enabled:
+            for component, ms in parts:
+                if ms:
+                    tracer.charge(component, ms)
+
+    def bind_device_events(self) -> None:
+        """Point every volume device's event sink at the journal (no-op
+        while events are disabled).  Re-run after the sequence grows."""
+        journal = self.journal
+        if not journal.enabled:
+            return
+        for index, volume in enumerate(self.sequence.volumes):
+            device = volume.device
+            if getattr(device, "event_sink", None) is None:
+                device.event_sink = _device_sink(journal, index)
 
     def make_device(self) -> WormDevice:
         """Create a fresh write-once medium per the configuration."""

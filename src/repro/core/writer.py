@@ -163,13 +163,16 @@ class TailWriter:
         """Burn the tail block even if partially filled (volume unmount,
         clean shutdown without NVRAM)."""
         if self._builder is not None and not self._builder.is_empty:
+            self.store.journal.emit(
+                "writer.flush", volume=self._volume_index, block=self._block_addr
+            )
             self.store.space.forced_padding += max(0, self._builder.free_bytes + 2)
             self._burn_current()
 
     # -- internals -------------------------------------------------------------
 
     def _make_timestamp(self) -> int:
-        self.store.clock.advance_ms(self.store.costs.timestamp_ms)
+        self.store.charge("timestamp", self.store.costs.timestamp_ms)
         return self.store.clock.timestamp()
 
     @property
@@ -231,7 +234,7 @@ class TailWriter:
     def _note_fragment(self, tracked: frozenset[int]) -> None:
         if tracked:
             self._state.note_membership(self._block_addr, tracked)
-        self.store.clock.advance_ms(self.store.costs.entrymap_per_entry_ms)
+        self.store.charge("entrymap_maint", self.store.costs.entrymap_per_entry_ms)
 
     def _refresh_tail_cache(self) -> None:
         key = self.store.cache_key(self._volume_index, self._block_addr)
@@ -351,6 +354,8 @@ class TailWriter:
         self.store.states.append(
             EntrymapState(self.store.config.degree_n, self._volume.data_capacity)
         )
+        self.store.bind_device_events()
+        self.store.journal.emit("volume.extend", volume=self._volume_index)
 
     def _emit_due_entrymap_entries(self) -> None:
         """Write the entrymap log entries whose well-known position is the
@@ -397,6 +402,12 @@ class TailWriter:
         """Make everything appended so far durable (Section 2.3.1)."""
         if self._builder is None or self._builder.is_empty:
             return
+        self.store.journal.emit(
+            "writer.force",
+            volume=self._volume_index,
+            block=self._block_addr,
+            target="nvram" if self.store.nvram is not None else "burn",
+        )
         if self.store.nvram is not None:
             global_block = self.store.sequence.to_global(
                 self._volume_index, self._block_addr

@@ -11,13 +11,35 @@ this package exposes those counts from a *live* service uniformly:
 * :mod:`repro.obs.wiring` — connects a :class:`~repro.core.LogService`'s
   existing stats objects (``DeviceStats``, ``CacheStats``, ``ReadStats``,
   ``SpaceStats``, recovery reports) to the registry.
+* :mod:`repro.obs.events` — the structured event journal (device writes,
+  cache evictions, recovery phases, volume transitions) with log-file
+  persistence (:class:`EventLog`) and the crash flight recorder.
+* :mod:`repro.obs.slo` — SLO rules evaluated on the simulated clock, with
+  alerts persisted to an append-only alert sublog.
+* :mod:`repro.obs.profile` — cost-attribution profiling: folds span trees
+  against the :mod:`~repro.vsystem.costs` model for per-operation
+  breakdowns (the paper's Section 3 decomposition, live).
 
 Enable on a service with ``service.enable_observability()`` (or pass
 ``observability=True`` to ``LogService.create``/``mount``); disabled, the
 hot paths pay one attribute check per operation.
 """
 
+from repro.obs.events import (
+    NULL_JOURNAL,
+    Event,
+    EventJournal,
+    EventLog,
+    NullJournal,
+    format_event,
+)
 from repro.obs.export import json_snapshot, parse_prometheus_text, prometheus_text
+from repro.obs.profile import (
+    CostBreakdown,
+    format_profile,
+    profile_roots,
+    profile_span,
+)
 from repro.obs.registry import (
     COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -29,6 +51,16 @@ from repro.obs.registry import (
     MetricError,
     MetricFamily,
     MetricsRegistry,
+)
+from repro.obs.slo import (
+    Alert,
+    AlertLog,
+    ModelDeltaRule,
+    RatioRule,
+    SloEngine,
+    ThresholdRule,
+    default_ruleset,
+    parse_rule,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -60,4 +92,22 @@ __all__ = [
     "json_snapshot",
     "Instruments",
     "wire_service",
+    "Event",
+    "EventJournal",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "EventLog",
+    "format_event",
+    "Alert",
+    "AlertLog",
+    "SloEngine",
+    "ThresholdRule",
+    "RatioRule",
+    "ModelDeltaRule",
+    "default_ruleset",
+    "parse_rule",
+    "CostBreakdown",
+    "profile_span",
+    "profile_roots",
+    "format_profile",
 ]

@@ -86,6 +86,35 @@ class HistogramValue:
     sum: float
     count: int
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0 <= q <= 1) by linear interpolation
+        within the bucket containing the target rank — the standard
+        Prometheus ``histogram_quantile`` estimator.
+
+        The lowest bucket interpolates from 0; a rank landing in the
+        +Inf overflow bucket is clamped to the highest finite bound
+        (there is no upper edge to interpolate toward).  Returns 0.0 for
+        an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        lower_bound = 0.0
+        lower_cum = 0
+        for bound, cumulative in self.buckets:
+            if rank <= cumulative:
+                if bound == float("inf"):
+                    return lower_bound
+                in_bucket = cumulative - lower_cum
+                if in_bucket == 0:
+                    return bound
+                fraction = (rank - lower_cum) / in_bucket
+                return lower_bound + (bound - lower_bound) * fraction
+            lower_bound, lower_cum = bound, cumulative
+        return lower_bound
+
 
 @dataclass(frozen=True, slots=True)
 class MetricFamily:
@@ -301,6 +330,10 @@ class Histogram(_Metric):
 
     def observe(self, value: float) -> None:
         self._default.observe(value)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile of the (label-less) histogram's snapshot."""
+        return self._default.snapshot().quantile(q)
 
     def _child_value(self, child: _HistogramChild) -> HistogramValue:
         return child.snapshot()

@@ -30,6 +30,7 @@ class Span:
         "attributes",
         "children",
         "dropped_children",
+        "costs",
     )
 
     def __init__(self, name: str, start_us: int, attributes: dict | None = None):
@@ -39,10 +40,20 @@ class Span:
         self.attributes: dict = attributes or {}
         self.children: list["Span"] = []
         self.dropped_children = 0
+        #: Simulated milliseconds charged inside this span, keyed by cost
+        #: component ("ipc", "device", ...) — the profiler's raw material.
+        #: None until the first charge, so untagged spans stay lean.
+        self.costs: dict | None = None
 
     def set(self, key: str, value) -> None:
         """Attach an attribute discovered mid-span (e.g. a result count)."""
         self.attributes[key] = value
+
+    def add_cost(self, component: str, ms: float) -> None:
+        """Record simulated time charged to this span by component."""
+        if self.costs is None:
+            self.costs = {}
+        self.costs[component] = self.costs.get(component, 0.0) + ms
 
     @property
     def duration_us(self) -> int:
@@ -69,6 +80,8 @@ class Span:
             "attributes": dict(self.attributes),
             "children": [child.as_dict() for child in self.children],
         }
+        if self.costs:
+            out["costs_ms"] = dict(self.costs)
         if self.dropped_children:
             out["dropped_children"] = self.dropped_children
         return out
@@ -127,6 +140,16 @@ class SpanTracer:
                 parent.dropped_children += 1
         self._stack.append(span)
         return _SpanHandle(self, span)
+
+    def charge(self, component: str, ms: float) -> None:
+        """Attribute ``ms`` of simulated time to the innermost open span.
+
+        Called by :meth:`~repro.core.store.LogStore.charge` at every
+        cost-model clock advance; charges made outside any span are
+        dropped (nothing is being traced there).
+        """
+        if self._stack:
+            self._stack[-1].add_cost(component, ms)
 
     def _finish(self, span: Span) -> None:
         span.end_us = self._clock.now_us
@@ -189,6 +212,9 @@ class NullTracer:
 
     def span(self, name: str, **attributes) -> _NullSpan:
         return _NULL_SPAN
+
+    def charge(self, component: str, ms: float) -> None:
+        pass
 
     def recent(self, limit: int | None = None) -> list:
         return []

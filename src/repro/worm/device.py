@@ -111,6 +111,10 @@ class BlockDevice(ABC):
         self.clock = clock
         self.stats = DeviceStats()
         self._head_position = 0
+        #: Optional ``(op, block)`` callback for the event journal
+        #: (:mod:`repro.obs.events`); None keeps the hot path a single
+        #: attribute check per operation.
+        self.event_sink = None
 
     # -- timing ----------------------------------------------------------
 
@@ -211,6 +215,8 @@ class WormDevice(BlockDevice):
         self.stats.writes += 1
         self._blocks[block] = bytes(data)
         self._advance_past_invalidated()
+        if self.event_sink is not None:
+            self.event_sink("write", block)
 
     def append_block(self, data: bytes) -> int:
         """Write ``data`` at the append point and return the block address."""
@@ -239,6 +245,8 @@ class WormDevice(BlockDevice):
         self._invalidated.add(block)
         if block == self._next_writable:
             self._advance_past_invalidated()
+        if self.event_sink is not None:
+            self.event_sink("invalidate", block)
 
     # -- read path -------------------------------------------------------
 
@@ -254,6 +262,8 @@ class WormDevice(BlockDevice):
             raise UnwrittenBlockError(block)
         self._charge(block)
         self.stats.reads += 1
+        if self.event_sink is not None:
+            self.event_sink("read", block)
         return data
 
     def is_written(self, block: int) -> bool:

@@ -149,3 +149,41 @@ class TestDurability:
         mounted, _ = LogService.mount(remains.devices, remains.nvram)
         metrics2 = MetricsLog(mounted)
         assert metrics2.samples("cpu") == []
+
+
+class TestIngestIdempotence:
+    def test_reingesting_unchanged_registry_appends_nothing(self):
+        from repro.obs import MetricsRegistry
+
+        service, metrics = make_metrics()
+        registry = MetricsRegistry()  # standalone: no samplers move it
+        registry.counter("jobs_total").inc(4)
+        registry.gauge("queue_depth").set(2)
+        hist = registry.histogram("job_ms", buckets=(1, 10))
+        hist.observe(0.5)
+        first = metrics.ingest_registry(registry, prefix="app.")
+        assert first == 4  # counter, gauge, hist .sum and .count
+        assert metrics.ingest_registry(registry, prefix="app.") == 0
+        assert metrics.stats("app.jobs_total").count == 1
+
+    def test_self_monitoring_dedupes_only_unmoved_series(self):
+        service, metrics = make_metrics()
+        registry = service.metrics
+        metrics.ingest_registry(registry, prefix="clio.")
+        # The ingest's own appends move writer/clock series, but a static
+        # gauge like the cache capacity must not re-record.
+        before = metrics.stats("clio.clio_cache_capacity_blocks").count
+        metrics.ingest_registry(registry, prefix="clio.")
+        assert metrics.stats("clio.clio_cache_capacity_blocks").count == before
+
+    def test_moved_series_still_recorded_after_dedupe(self):
+        service, metrics = make_metrics()
+        app = service.create_log_file("/app")
+        registry = service.metrics
+        app.append(b"x")
+        metrics.ingest_registry(registry, prefix="clio.")
+        app.append(b"y")
+        metrics.ingest_registry(registry, prefix="clio.")
+        series = metrics.stats("clio.clio_writer_client_entries_total")
+        assert series.count == 2
+        assert series.maximum > series.minimum

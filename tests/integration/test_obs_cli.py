@@ -97,3 +97,83 @@ class TestTraceCommand:
         first = run(capsys, "trace", store, "--read", "/app")
         second = run(capsys, "trace", store, "--read", "/app")
         assert first == second
+
+
+class TestStatsQuantiles:
+    def test_histogram_rows_include_quantiles(self, store, capsys):
+        out = run(capsys, "stats", store, "--touch", "/app")
+        hist_rows = [line for line in out.splitlines() if "p50=" in line]
+        assert hist_rows  # at least the locate histogram observed something
+        assert all("p95=" in row and "p99=" in row for row in hist_rows)
+
+
+class TestStatsWatch:
+    def test_watch_rerenders_on_sim_intervals(self, store, capsys):
+        out = run(capsys, "stats", store, "--watch", "5")
+        # Replay emits at least one intermediate render plus the final one.
+        headers = [line for line in out.splitlines() if line.startswith("--- sim t=")]
+        assert len(headers) >= 2
+        assert "replay complete" in headers[-1]
+        assert out.count("clio_sim_clock_ms") == len(headers)
+
+
+class TestEventsCommand:
+    def test_mount_shows_recovery_timeline(self, store, capsys):
+        out = run(capsys, "events", store)
+        assert "recovery.begin" in out
+        assert "recovery.complete" in out
+
+    def test_kind_filter_and_limit(self, store, capsys):
+        out = run(capsys, "events", store, "--kind", "recovery.begin")
+        lines = [line for line in out.splitlines() if line.startswith("[")]
+        assert len(lines) == 1
+        out = run(capsys, "events", store, "--limit", "2")
+        lines = [line for line in out.splitlines() if line.startswith("[")]
+        assert len(lines) == 2
+
+    def test_read_generates_device_events(self, store, capsys):
+        # Burn a few blocks first: the tiny fixture store otherwise lives
+        # entirely in the NVRAM tail, which reads never hit the device for.
+        for i in range(4):
+            assert main(["append", store, "/app", "x" * 400]) == 0
+        out = run(capsys, "events", store, "--read", "/app")
+        assert "device.read" in out
+
+
+class TestProfileCommand:
+    def test_breakdown_components_sum_to_traced_total(self, store, capsys):
+        out = run(capsys, "profile", store, "--read", "/app", "--repeat", "3")
+        assert "read" in out
+        assert "cache_interpret" in out
+        # the attribution summary line carries the coverage percentage
+        summary = [line for line in out.splitlines() if line.startswith("attributed")]
+        assert len(summary) == 1
+        percent = float(summary[0].rsplit("(", 1)[1].rstrip("%)"))
+        assert abs(percent - 100.0) < 1.0
+
+
+class TestHealthCommand:
+    def test_healthy_store_exits_zero(self, store, capsys):
+        out = run(capsys, "health", store, "--read", "/app")
+        assert "healthy" in out
+
+    def test_custom_rule_can_fire(self, store, capsys):
+        capsys.readouterr()
+        code = main(
+            ["health", store, "--read", "/app", "--rule", "clio_volumes > 0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "clio_volumes" in out
+
+    def test_persisted_alert_readable_via_show_log(self, store, capsys):
+        capsys.readouterr()
+        code = main(
+            ["health", store, "--persist", "--rule", "always: clio_volumes > 0"]
+        )
+        assert code == 1
+        assert "appended to /alerts" in capsys.readouterr().out
+        code = main(["health", store, "--show-log"])
+        out = capsys.readouterr().out
+        assert "(history)" in out
+        assert "always" in out

@@ -87,3 +87,58 @@ class TestJsonSnapshot:
 
     def test_snapshot_deterministic(self):
         assert json_snapshot(build_registry()) == json_snapshot(build_registry())
+
+
+class TestMultiLabelRoundTrip:
+    def build_multi_label_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        ops = reg.counter(
+            "clio_ops_total",
+            help="Operations by kind and volume",
+            labelnames=("kind", "volume"),
+        )
+        ops.labels(kind="read", volume="0").inc(5)
+        ops.labels(kind="read", volume="1").inc(2)
+        ops.labels(kind="write", volume="0").inc(9)
+        lat = reg.histogram(
+            "clio_op_ms",
+            help="Latency by kind",
+            labelnames=("kind",),
+            buckets=(1, 10),
+        )
+        lat.labels(kind="read").observe(0.4)
+        lat.labels(kind="read").observe(5.0)
+        lat.labels(kind="write").observe(50.0)
+        return reg
+
+    def test_counter_children_survive_round_trip(self):
+        reg = self.build_multi_label_registry()
+        parsed = parse_prometheus_text(prometheus_text(reg))
+        samples = parsed["clio_ops_total"]["samples"]
+        assert samples[
+            ("clio_ops_total", (("kind", "read"), ("volume", "0")))
+        ] == 5
+        assert samples[
+            ("clio_ops_total", (("kind", "read"), ("volume", "1")))
+        ] == 2
+        assert samples[
+            ("clio_ops_total", (("kind", "write"), ("volume", "0")))
+        ] == 9
+
+    def test_labelled_histogram_children_survive_round_trip(self):
+        reg = self.build_multi_label_registry()
+        parsed = parse_prometheus_text(prometheus_text(reg))
+        samples = parsed["clio_op_ms"]["samples"]
+        assert samples[
+            ("clio_op_ms_bucket", (("kind", "read"), ("le", "1")))
+        ] == 1
+        assert samples[
+            ("clio_op_ms_bucket", (("kind", "read"), ("le", "+Inf")))
+        ] == 2
+        assert samples[("clio_op_ms_count", (("kind", "read"),))] == 2
+        assert samples[("clio_op_ms_sum", (("kind", "write"),))] == 50.0
+
+    def test_round_trip_is_lossless_on_reexport(self):
+        reg = self.build_multi_label_registry()
+        text = prometheus_text(reg)
+        assert parse_prometheus_text(text) == parse_prometheus_text(text)

@@ -1,0 +1,112 @@
+"""Cost-attribution profiling: spans' charged components must explain
+their traced sim-time (the paper's Section 3 decomposition, recovered
+from a live trace)."""
+
+from repro.core import LogService
+from repro.obs.profile import (
+    attribution_summary,
+    format_profile,
+    profile_roots,
+    profile_span,
+)
+
+
+def make_service(**kwargs) -> LogService:
+    kwargs.setdefault("block_size", 512)
+    kwargs.setdefault("degree_n", 4)
+    kwargs.setdefault("volume_capacity_blocks", 4096)
+    kwargs.setdefault("observability", True)
+    return LogService.create(**kwargs)
+
+
+def run_mixed_workload(service, entries=150):
+    service.tracer.max_roots = 100_000
+    log = service.create_log_file("/work")
+    for i in range(entries):
+        log.append(b"p" * (20 + (i % 5) * 40), force=(i % 16 == 0))
+    service.sync()
+    with service.tracer.span("read", path="/work") as sp:
+        sp.set("entries", sum(1 for _ in service.read_entries("/work")))
+    return log
+
+
+class TestProfileSpan:
+    def test_append_span_carries_cost_components(self):
+        service = make_service()
+        service.create_log_file("/a").append(b"x" * 100, force=True)
+        span = service.tracer.last("append")
+        components = profile_span(span)
+        # Section 3.2's write decomposition: IPC + fixed + copy + timestamp
+        # + entrymap maintenance.
+        for component in (
+            "ipc",
+            "write_fixed",
+            "copy",
+            "timestamp",
+            "entrymap_maint",
+        ):
+            assert components.get(component, 0.0) > 0.0, component
+
+    def test_component_sum_matches_span_duration(self):
+        service = make_service()
+        service.create_log_file("/a").append(b"x" * 64)
+        span = service.tracer.last("append")
+        total = sum(profile_span(span).values())
+        assert abs(total - span.duration_us / 1000.0) < 0.01
+
+
+class TestProfileRoots:
+    def test_groups_by_operation(self):
+        service = make_service()
+        run_mixed_workload(service)
+        breakdowns = profile_roots(service.tracer.recent())
+        names = {b.operation for b in breakdowns}
+        assert "append" in names
+        assert "read" in names
+        append = next(b for b in breakdowns if b.operation == "append")
+        assert append.count == 150
+        assert append.total_ms > 0
+
+    def test_attribution_within_one_percent(self):
+        """The acceptance bar: summed components equal the tracer's total
+        sim-time within 1% over a locate-heavy workload."""
+        service = make_service()
+        run_mixed_workload(service, entries=300)
+        breakdowns = profile_roots(service.tracer.recent())
+        attributed, total = attribution_summary(breakdowns)
+        assert total > 0
+        assert abs(attributed - total) / total < 0.01
+
+    def test_sorted_by_total_time(self):
+        service = make_service()
+        run_mixed_workload(service)
+        breakdowns = profile_roots(service.tracer.recent())
+        totals = [b.total_ms for b in breakdowns]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_mean_and_coverage_properties(self):
+        service = make_service()
+        run_mixed_workload(service, entries=50)
+        append = next(
+            b
+            for b in profile_roots(service.tracer.recent())
+            if b.operation == "append"
+        )
+        assert append.mean_ms * append.count == append.total_ms
+        assert 0.99 <= append.coverage <= 1.01
+        assert abs(append.unattributed_ms) < 0.01 * append.total_ms
+
+
+class TestFormatProfile:
+    def test_renders_operations_components_and_summary(self):
+        service = make_service()
+        run_mixed_workload(service, entries=40)
+        text = format_profile(profile_roots(service.tracer.recent()))
+        assert "append" in text
+        assert "ipc" in text
+        assert "write_fixed" in text
+        assert "attributed" in text
+        assert "% " in text or "%)" in text
+
+    def test_empty_profile_message(self):
+        assert "no finished spans" in format_profile([])

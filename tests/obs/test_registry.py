@@ -161,3 +161,57 @@ class TestStandardBuckets:
     def test_gauge_and_histogram_importable_directly(self):
         assert Gauge("g", "").kind == "gauge"
         assert Histogram("h", "", buckets=(1,)).kind == "histogram"
+
+
+class TestQuantile:
+    def make_histogram(self, observations, buckets=(1, 2, 4, 8)):
+        h = Histogram("h", "", buckets=buckets)
+        for value in observations:
+            h.observe(value)
+        return h
+
+    def test_empty_histogram_is_zero(self):
+        h = self.make_histogram([])
+        assert h.quantile(0.5) == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        h = self.make_histogram([1.0])
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_linear_interpolation_within_bucket(self):
+        # 10 observations all landing in the (2, 4] bucket: the median
+        # interpolates to the middle of that bucket.
+        h = self.make_histogram([3.0] * 10)
+        assert h.quantile(0.5) == pytest.approx(3.0)
+        assert h.quantile(0.25) == pytest.approx(2.5)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_lowest_bucket_interpolates_from_zero(self):
+        h = self.make_histogram([0.5] * 4)
+        assert h.quantile(0.5) == pytest.approx(0.5)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+
+    def test_overflow_rank_clamps_to_highest_finite_bound(self):
+        h = self.make_histogram([100.0] * 5)  # all in the +Inf bucket
+        assert h.quantile(0.99) == 8.0
+
+    def test_quantiles_across_buckets(self):
+        # one observation per bucket: ranks split evenly
+        h = self.make_histogram([0.5, 1.5, 3.0, 6.0])
+        assert h.quantile(0.25) == pytest.approx(1.0)
+        assert h.quantile(0.5) == pytest.approx(2.0)
+        assert h.quantile(0.75) == pytest.approx(4.0)
+
+    def test_snapshot_value_quantile_matches_histogram(self):
+        h = self.make_histogram([0.5, 1.5, 3.0, 6.0])
+        snapshot = h._default.snapshot()
+        for q in (0.1, 0.5, 0.9):
+            assert snapshot.quantile(q) == h.quantile(q)
+
+    def test_monotone_in_q(self):
+        h = self.make_histogram([0.3, 0.9, 1.1, 2.5, 3.9, 7.5, 9.0])
+        quantiles = [h.quantile(q / 20) for q in range(21)]
+        assert quantiles == sorted(quantiles)
