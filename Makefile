@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples fsck-demo obs-demo health-demo outputs clean
+.PHONY: install test bench bench-fastpath bench-tables examples fsck-demo obs-demo health-demo outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -11,7 +11,12 @@ test:
 	$(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	CLIO_BENCH_RECORD_DIR=. $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The fast-path bench alone (parsed cache / group commit / read-ahead):
+# quick enough for a CI smoke run, writes BENCH_fastpath.json.
+bench-fastpath:
+	CLIO_BENCH_RECORD_DIR=. PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -k fastpath -s -q
 
 # The paper-style result tables (Figure 3, Table 1, Figure 4, ...).
 bench-tables:

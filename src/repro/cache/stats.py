@@ -19,6 +19,14 @@ class CacheStats:
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    #: Parsed-tier hits: accesses where the decoded block object was still
+    #: pooled, so :func:`repro.core.block.parse_block` was skipped entirely.
+    parse_avoided: int = 0
+    #: Blocks inserted by sequential read-ahead ahead of the read cursor.
+    prefetched: int = 0
+    #: Demand accesses served by a block that read-ahead staged (each block
+    #: counts once — afterwards it is an ordinary resident block).
+    prefetch_hits: int = 0
 
     @property
     def accesses(self) -> int:
@@ -37,6 +45,9 @@ class CacheStats:
             misses=self.misses,
             insertions=self.insertions,
             evictions=self.evictions,
+            parse_avoided=self.parse_avoided,
+            prefetched=self.prefetched,
+            prefetch_hits=self.prefetch_hits,
         )
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
@@ -46,6 +57,9 @@ class CacheStats:
             misses=self.misses - earlier.misses,
             insertions=self.insertions - earlier.insertions,
             evictions=self.evictions - earlier.evictions,
+            parse_avoided=self.parse_avoided - earlier.parse_avoided,
+            prefetched=self.prefetched - earlier.prefetched,
+            prefetch_hits=self.prefetch_hits - earlier.prefetch_hits,
         )
 
     def reset(self) -> None:
@@ -55,3 +69,6 @@ class CacheStats:
         self.misses = 0
         self.insertions = 0
         self.evictions = 0
+        self.parse_avoided = 0
+        self.prefetched = 0
+        self.prefetch_hits = 0

@@ -56,6 +56,7 @@ class AsyncLogClient:
         batch_size: int = 16,
         max_skew_us: int = 1_000_000,
         force_batches: bool = True,
+        server_batching: bool = False,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -65,6 +66,11 @@ class AsyncLogClient:
         self.batch_size = batch_size
         self.max_skew_us = max_skew_us
         self.force_batches = force_batches
+        #: Deliver each flushed batch through the server's group-commit
+        #: operation (one IPC/timestamp charge for the batch) instead of
+        #: per-entry appends.  Off by default: the paper's cost model
+        #: charges every asynchronous write as its own server operation.
+        self.server_batching = server_batching
         self._next_seq = 1
         self._batch: list[_Pending] = []
         self._wrap_guard_ts: int | None = None
@@ -105,14 +111,27 @@ class AsyncLogClient:
         log_file = self.log_file
         force = self.force_batches
 
-        def deliver(entries=tuple(batch)):
-            for index, pending in enumerate(entries):
-                last = index == len(entries) - 1
-                log_file.append(
-                    pending.data,
-                    client_seq=pending.client_id.sequence_number,
-                    force=force and last,
+        if self.server_batching:
+
+            def deliver(entries=tuple(batch)):
+                log_file.append_many(
+                    [pending.data for pending in entries],
+                    client_seqs=[
+                        pending.client_id.sequence_number for pending in entries
+                    ],
+                    force=force,
                 )
+
+        else:
+
+            def deliver(entries=tuple(batch)):
+                for index, pending in enumerate(entries):
+                    last = index == len(entries) - 1
+                    log_file.append(
+                        pending.data,
+                        client_seq=pending.client_id.sequence_number,
+                        force=force and last,
+                    )
 
         self.port.send(deliver)
         self.flushed_batches += 1

@@ -53,6 +53,24 @@ class LogFile:
             client_seq=client_seq,
         )
 
+    def append_many(
+        self,
+        batch: list[bytes],
+        *,
+        force: bool = False,
+        timestamped: bool = True,
+        client_seqs: list[int | None] | None = None,
+    ) -> list[AppendResult]:
+        """Append a batch as one group commit; see
+        :meth:`LogService.append_many`."""
+        return self._service.append_many(
+            self,
+            batch,
+            force=force,
+            timestamped=timestamped,
+            client_seqs=client_seqs,
+        )
+
     # -- reading ------------------------------------------------------------
 
     def entries(

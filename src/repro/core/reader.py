@@ -30,12 +30,25 @@ from repro.core.entrymap import (
 from repro.core.ids import ENTRYMAP_ID, EntryLocation
 from repro.core.store import LogStore
 from repro.worm.errors import (
+    BlockOutOfRange,
     InvalidatedBlockError,
     UnwrittenBlockError,
     VolumeOfflineError,
 )
 
 __all__ = ["LogReader", "ReadStats", "TornEntryError", "ReadEntry"]
+
+#: Sentinel distinguishing "memo miss" from a memoized None result.
+_MEMO_MISS = object()
+
+#: Locate-memo entries kept before the memo is wholesale cleared.  The memo
+#: lives only until the next append anyway, so a small bound merely guards
+#: against one enormous scan between appends.
+_MEMO_CAPACITY = 4096
+
+#: Demand reads at consecutive ascending addresses before read-ahead kicks
+#: in (the second sequential access is the trigger).
+_PREFETCH_TRIGGER = 2
 
 
 class TornEntryError(Exception):
@@ -75,6 +88,12 @@ class ReadStats:
     device_reads: int = 0
     corrupt_blocks_found: int = 0
     torn_entries_skipped: int = 0
+    #: Actual ``parse_block`` invocations — a cached re-read of an already
+    #: decoded block does not increment this (the parsed-tier fast path).
+    blocks_parsed: int = 0
+    #: Locate operations answered from the tail-invalidated result memo
+    #: without re-running the entrymap search.
+    locate_memo_hits: int = 0
     search: SearchStats = field(default_factory=SearchStats)
 
     def snapshot(self) -> "ReadStats":
@@ -83,6 +102,8 @@ class ReadStats:
             device_reads=self.device_reads,
             corrupt_blocks_found=self.corrupt_blocks_found,
             torn_entries_skipped=self.torn_entries_skipped,
+            blocks_parsed=self.blocks_parsed,
+            locate_memo_hits=self.locate_memo_hits,
             search=SearchStats(
                 entrymap_entries_examined=self.search.entrymap_entries_examined,
                 accumulator_examinations=self.search.accumulator_examinations,
@@ -98,6 +119,8 @@ class ReadStats:
             - earlier.corrupt_blocks_found,
             torn_entries_skipped=self.torn_entries_skipped
             - earlier.torn_entries_skipped,
+            blocks_parsed=self.blocks_parsed - earlier.blocks_parsed,
+            locate_memo_hits=self.locate_memo_hits - earlier.locate_memo_hits,
             search=SearchStats(
                 entrymap_entries_examined=self.search.entrymap_entries_examined
                 - earlier.search.entrymap_entries_examined,
@@ -139,6 +162,16 @@ class LogReader:
         #: online (Section 2.1's "made available on demand, automatically").
         self._on_volume_demand = on_volume_demand
         self.stats = ReadStats()
+        #: Sequential-scan detector state for read-ahead: the last demanded
+        #: ``(volume_index, local_block)`` and the current ascending run
+        #: length.  Only maintained while ``config.readahead_blocks > 0``.
+        self._last_access: tuple[int, int] | None = None
+        self._seq_run = 0
+        #: Locate-result memo keyed ``(direction, logfile_id, position)``,
+        #: valid for one ``store.append_generation`` (any append can change
+        #: locate answers near the tail, so the whole memo is dropped).
+        self._locate_memo: dict[tuple[str, int, int], int | None] = {}
+        self._memo_generation = -1
 
     # -- geometry ------------------------------------------------------------
 
@@ -165,6 +198,15 @@ class LogReader:
             return None
         key = self.store.cache_key(volume_index, local_block)
         volume = self.store.sequence.volumes[volume_index]
+
+        readahead = self.store.config.readahead_blocks
+        if readahead > 0:
+            self._note_access(volume_index, local_block)
+            if (
+                self._seq_run >= _PREFETCH_TRIGGER
+                and key not in self.store.cache
+            ):
+                self._prefetch(volume_index, local_block, readahead)
 
         def loader() -> bytes:
             with self.store.tracer.span(
@@ -204,8 +246,15 @@ class LogReader:
                 raise
         self.stats.block_accesses += 1
         self.store.charge("cache_interpret", self.store.costs.cached_block_ms)
+        # Parsed-tier fast path: the sim-time charge above already covers
+        # "access and interpretation" (the paper's ~0.6 ms cached-block
+        # cost); if the decoded object is still pooled we skip the actual
+        # wall-clock re-parse.
+        pooled = self.store.cache.get_parsed(key)
+        if pooled is not None:
+            return pooled
         try:
-            return parse_block(data)
+            parsed = parse_block(data)
         except BlockFormatError:
             self.stats.corrupt_blocks_found += 1
             self.store.cache.invalidate(key)
@@ -215,10 +264,69 @@ class LogReader:
             if self._on_corrupt is not None:
                 self._on_corrupt(volume_index, local_block)
             return None
+        self.stats.blocks_parsed += 1
+        self.store.cache.put_parsed(key, parsed)
+        return parsed
 
     def read_parsed_global(self, global_block: int) -> ParsedBlock | None:
-        volume_index, local = self.store.sequence.to_local(global_block)
+        try:
+            volume_index, local = self.store.sequence.to_local(global_block)
+        except BlockOutOfRange:
+            # E.g. the continuation of a torn entry at the end of a full
+            # volume: there is no such block, so there is no such parse.
+            return None
         return self.read_parsed(volume_index, local)
+
+    # -- sequential read-ahead ---------------------------------------------------
+
+    def _note_access(self, volume_index: int, local_block: int) -> None:
+        """Track the demand-read cursor for sequential-scan detection."""
+        prev = self._last_access
+        if prev == (volume_index, local_block - 1):
+            self._seq_run += 1
+        elif prev == (volume_index, local_block):
+            pass  # re-reading the same block neither extends nor breaks a run
+        else:
+            self._seq_run = 1
+        self._last_access = (volume_index, local_block)
+
+    def _prefetch(self, volume_index: int, local_block: int, window: int) -> None:
+        """Fetch up to ``window`` burned blocks from ``local_block`` onward
+        in one device operation (one seek, N transfers) and stage them in
+        the cache ahead of the scan cursor."""
+        volume = self.store.sequence.volumes[volume_index]
+        burned = max(0, volume.next_data_block)
+        count = min(window, burned - local_block)
+        if count <= 1:
+            # Nothing beyond the demand block is burned yet (tail territory
+            # is served from the writer's image, not the device).
+            return
+        cache = self.store.cache
+        with self.store.tracer.span(
+            "device.io", op="read_many", volume=volume_index, block=local_block
+        ) as sp:
+            busy_before = volume.device.stats.busy_ms
+            try:
+                blocks = volume.read_data_blocks(local_block, count)
+            except VolumeOfflineError:
+                return  # the demand path handles offline volumes
+            self.stats.device_reads += len(blocks)
+            self.store.charge("device", volume.device.stats.busy_ms - busy_before)
+            sp.set("count", len(blocks))
+        staged = 0
+        for offset, data in enumerate(blocks):
+            if data is None:
+                continue  # invalidated block; the demand path reports it
+            staged_key = self.store.cache_key(volume_index, local_block + offset)
+            if cache.put_prefetched(staged_key, data):
+                staged += 1
+        self.store.journal.emit(
+            "cache.prefetch",
+            volume=volume_index,
+            block=local_block,
+            count=len(blocks),
+            staged=staged,
+        )
 
     # -- entry assembly ------------------------------------------------------------
 
@@ -376,12 +484,35 @@ class LogReader:
     def locate_prev_global(self, logfile_id: int, before_global: int) -> int | None:
         """Greatest readable global block < ``before_global`` with entries
         of ``logfile_id`` (descending through predecessor volumes)."""
+        memoized = self._memo_get("prev", logfile_id, before_global)
+        if memoized is not _MEMO_MISS:
+            self.stats.locate_memo_hits += 1
+            return memoized
         store = self.store
         if store.instruments is None and not store.tracer.enabled:
-            return self._locate_prev_impl(logfile_id, before_global)
-        return self._locate_observed(
-            "prev", self._locate_prev_impl, logfile_id, before_global
-        )
+            found = self._locate_prev_impl(logfile_id, before_global)
+        else:
+            found = self._locate_observed(
+                "prev", self._locate_prev_impl, logfile_id, before_global
+            )
+        self._memo_put("prev", logfile_id, before_global, found)
+        return found
+
+    def _memo_get(self, direction: str, logfile_id: int, position: int):
+        """Look up a memoized locate result, dropping the memo whenever an
+        append has moved the log tail since it was filled."""
+        generation = self.store.append_generation
+        if generation != self._memo_generation:
+            self._locate_memo.clear()
+            self._memo_generation = generation
+        return self._locate_memo.get((direction, logfile_id, position), _MEMO_MISS)
+
+    def _memo_put(
+        self, direction: str, logfile_id: int, position: int, found: int | None
+    ) -> None:
+        if len(self._locate_memo) >= _MEMO_CAPACITY:
+            self._locate_memo.clear()
+        self._locate_memo[(direction, logfile_id, position)] = found
 
     def _locate_observed(
         self, direction: str, impl, logfile_id: int, position: int
@@ -427,12 +558,19 @@ class LogReader:
     def locate_next_global(self, logfile_id: int, start_global: int) -> int | None:
         """Smallest readable global block >= ``start_global`` with entries
         of ``logfile_id`` (ascending through successor volumes)."""
+        memoized = self._memo_get("next", logfile_id, start_global)
+        if memoized is not _MEMO_MISS:
+            self.stats.locate_memo_hits += 1
+            return memoized
         store = self.store
         if store.instruments is None and not store.tracer.enabled:
-            return self._locate_next_impl(logfile_id, start_global)
-        return self._locate_observed(
-            "next", self._locate_next_impl, logfile_id, start_global
-        )
+            found = self._locate_next_impl(logfile_id, start_global)
+        else:
+            found = self._locate_observed(
+                "next", self._locate_next_impl, logfile_id, start_global
+            )
+        self._memo_put("next", logfile_id, start_global, found)
+        return found
 
     def _locate_next_impl(self, logfile_id: int, start_global: int) -> int | None:
         sequence = self.store.sequence

@@ -103,6 +103,12 @@ class StoreConfig:
     #: Enforce the catalog's per-log-file access permissions (owner bits:
     #: 0o400 read, 0o200 append) on client operations.
     enforce_permissions: bool = False
+    #: Sequential read-ahead window: on a detected sequential scan the
+    #: reader fetches up to this many blocks in one device operation (one
+    #: seek, N transfers) and stages them in the cache ahead of the cursor.
+    #: 0 disables read-ahead (the default — the paper's model reads one
+    #: block per device access).
+    readahead_blocks: int = 0
 
 
 @dataclass(slots=True)
@@ -128,6 +134,9 @@ class LogStore:
     metrics: object | None = None
     instruments: object | None = None
     journal: object = NULL_JOURNAL
+    #: Bumped by the writer on every appended entry; readers use it to
+    #: invalidate tail-dependent memos (the locate-result memo).
+    append_generation: int = 0
 
     def charge(self, component: str, ms: float) -> None:
         """Advance the simulated clock by ``ms`` and attribute the time to

@@ -50,6 +50,7 @@ class Instruments:
     __slots__ = (
         "append_latency_ms",
         "writer_batch_entries",
+        "append_batch_entries",
         "locate_entries_examined",
     )
 
@@ -64,6 +65,11 @@ class Instruments:
             "clio_writer_batch_entries",
             "Entries packed into each burned tail block (Section 3.3.1's "
             "write amortization batch size).",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        self.append_batch_entries = registry.histogram(
+            "clio_append_batch_entries",
+            "Entries per server-side group commit (append_many batch size).",
             buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
         )
         self.locate_entries_examined = registry.histogram(
@@ -96,6 +102,7 @@ def wire_service(service: "LogService") -> Instruments:
         for field in (
             "reads",
             "writes",
+            "seeks",
             "invalidations",
             "tail_queries",
             "written_probes",
@@ -119,7 +126,15 @@ def wire_service(service: "LogService") -> Instruments:
             f"Block cache {field} (CacheStats; Section 3.3.2: read cost is "
             "determined primarily by the number of cache misses).",
         )
-        for field in ("hits", "misses", "insertions", "evictions")
+        for field in (
+            "hits",
+            "misses",
+            "insertions",
+            "evictions",
+            "parse_avoided",
+            "prefetched",
+            "prefetch_hits",
+        )
     }
     cache_hit_ratio = registry.gauge(
         "clio_cache_hit_ratio", "Fraction of cache accesses served from memory."
@@ -161,6 +176,8 @@ def wire_service(service: "LogService") -> Instruments:
             "device_reads",
             "corrupt_blocks_found",
             "torn_entries_skipped",
+            "blocks_parsed",
+            "locate_memo_hits",
         )
     }
     locate_counters = {

@@ -51,6 +51,10 @@ class DeviceStats:
     invalidations: int = 0
     tail_queries: int = 0
     written_probes: int = 0
+    #: Head positionings charged: one per single-block operation, one per
+    #: multi-block transfer (:meth:`WormDevice.read_blocks`) regardless of
+    #: how many blocks it streams.
+    seeks: int = 0
     busy_ms: float = 0.0
 
     def snapshot(self) -> "DeviceStats":
@@ -60,6 +64,7 @@ class DeviceStats:
             invalidations=self.invalidations,
             tail_queries=self.tail_queries,
             written_probes=self.written_probes,
+            seeks=self.seeks,
             busy_ms=self.busy_ms,
         )
 
@@ -71,6 +76,7 @@ class DeviceStats:
             invalidations=self.invalidations - earlier.invalidations,
             tail_queries=self.tail_queries - earlier.tail_queries,
             written_probes=self.written_probes - earlier.written_probes,
+            seeks=self.seeks - earlier.seeks,
             busy_ms=self.busy_ms - earlier.busy_ms,
         )
 
@@ -82,6 +88,7 @@ class DeviceStats:
         self.invalidations = 0
         self.tail_queries = 0
         self.written_probes = 0
+        self.seeks = 0
         self.busy_ms = 0.0
 
 
@@ -122,6 +129,17 @@ class BlockDevice(ABC):
         """Charge simulated time for a head movement to ``block`` + transfer."""
         cost = self.geometry.access_ms(self._head_position, block)
         self._head_position = block
+        self.stats.seeks += 1
+        self.stats.busy_ms += cost
+        if self.clock is not None:
+            self.clock.advance_ms(cost)
+
+    def _charge_bulk(self, start: int, count: int) -> None:
+        """Charge one seek plus ``count`` sequential transfers (the
+        multi-block timing model behind read-ahead)."""
+        cost = self.geometry.bulk_access_ms(self._head_position, start, count)
+        self._head_position = start + count - 1
+        self.stats.seeks += 1
         self.stats.busy_ms += cost
         if self.clock is not None:
             self.clock.advance_ms(cost)
@@ -265,6 +283,37 @@ class WormDevice(BlockDevice):
         if self.event_sink is not None:
             self.event_sink("read", block)
         return data
+
+    def read_blocks(self, start: int, count: int) -> list[bytes | None]:
+        """Read up to ``count`` consecutive blocks starting at ``start`` in
+        one device operation.
+
+        The run stops early at the first never-written block (the append
+        frontier); an invalidated block inside the run yields ``None`` in
+        its slot.  The whole transfer is charged as one seek plus one
+        transfer per block actually streamed — the amortization sequential
+        read-ahead exists to exploit.
+        """
+        if count <= 0:
+            return []
+        self._check_range(start)
+        results: list[bytes | None] = []
+        limit = min(start + count, self.capacity_blocks)
+        for block in range(start, limit):
+            if block in self._invalidated:
+                results.append(None)
+                continue
+            data = self._blocks.get(block)
+            if data is None:
+                break  # append frontier: nothing is written past here
+            results.append(data)
+        if not results:
+            return []
+        self._charge_bulk(start, len(results))
+        self.stats.reads += len(results)
+        if self.event_sink is not None:
+            self.event_sink("read_many", start)
+        return results
 
     def is_written(self, block: int) -> bool:
         self._check_range(block)

@@ -75,6 +75,22 @@ class DeviceGeometry:
             + self.transfer_ms_per_block
         )
 
+    def bulk_access_ms(self, from_block: int, start_block: int, count: int) -> float:
+        """Cost of one multi-block transfer: a single seek to ``start_block``
+        plus ``count`` sequential block transfers.
+
+        This is the timing model behind read-ahead: consecutive blocks lie
+        on the same or adjacent tracks, so the head pays the positioning
+        cost once and then streams.
+        """
+        if count <= 0:
+            return 0.0
+        return (
+            self.seek_ms(from_block, start_block)
+            + self.rotational_latency_ms
+            + self.transfer_ms_per_block * count
+        )
+
 
 #: Write-once optical disk (Section 3.3.2: "a typical average seek time for
 #: an optical disk drive is ~150 ms").  1 GB-class 12" media.

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from repro.worm.device import WormDevice
 from repro.worm.errors import (
     BlockOutOfRange,
+    InvalidatedBlockError,
+    UnwrittenBlockError,
     VolumeFullError,
     VolumeOfflineError,
     VolumeSealedError,
@@ -234,6 +236,32 @@ class LogVolume:
         if not self._online:
             raise VolumeOfflineError(self.header.volume_index)
         return self.device.read_block(self._device_block(data_block))
+
+    def read_data_blocks(self, start: int, count: int) -> list[bytes | None]:
+        """Read up to ``count`` consecutive data blocks in one device op.
+
+        Returns the blocks actually streamed (``None`` for invalidated
+        slots); the run stops at the append frontier.  Devices without a
+        multi-block operation (e.g. mirrored replicas) fall back to
+        per-block reads — correct, just without the seek amortization.
+        """
+        if not self._online:
+            raise VolumeOfflineError(self.header.volume_index)
+        if count <= 0 or not 0 <= start < self.data_capacity:
+            return []
+        count = min(count, self.data_capacity - start)
+        reader = getattr(self.device, "read_blocks", None)
+        if reader is not None:
+            return reader(self._device_block(start), count)
+        results: list[bytes | None] = []
+        for data_block in range(start, start + count):
+            try:
+                results.append(self.read_data_block(data_block))
+            except InvalidatedBlockError:
+                results.append(None)
+            except UnwrittenBlockError:
+                break
+        return results
 
     def append_data_block(self, data: bytes) -> int:
         """Append one data block; returns its data-block address."""

@@ -145,6 +145,151 @@ class TestHitRatio:
         assert cache.stats.hits == 1
 
 
+class TestParsedTier:
+    def test_parsed_object_pooled_for_resident_block(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put("a", b"1")
+        decoded = object()
+        cache.put_parsed("a", decoded)
+        assert cache.get_parsed("a") is decoded
+        assert cache.stats.parse_avoided == 1
+
+    def test_parsed_miss_returns_none_without_counting(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put("a", b"1")
+        assert cache.get_parsed("a") is None
+        assert cache.stats.parse_avoided == 0
+
+    def test_put_parsed_ignored_for_nonresident_key(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put_parsed("ghost", object())
+        assert cache.get_parsed("ghost") is None
+
+    def test_new_bytes_drop_stale_parsed_object(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put("a", b"1")
+        cache.put_parsed("a", object())
+        cache.put("a", b"2")  # e.g. the tail block re-encoded after append
+        assert cache.get_parsed("a") is None
+
+    def test_invalidate_drops_parsed_object(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put("a", b"1")
+        cache.put_parsed("a", object())
+        cache.invalidate("a")
+        cache.put("a", b"1")
+        assert cache.get_parsed("a") is None
+
+    def test_eviction_drops_parsed_object(self):
+        cache = BlockCache(capacity_blocks=1)
+        cache.put("a", b"1")
+        cache.put_parsed("a", object())
+        cache.put("b", b"2")  # evicts a (and its decoded object)
+        cache.put("a", b"1")
+        assert cache.get_parsed("a") is None
+
+    def test_clear_drops_parsed_tier(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put("a", b"1")
+        cache.put_parsed("a", object())
+        cache.clear()
+        cache.put("a", b"1")
+        assert cache.get_parsed("a") is None
+
+
+class TestPrefetch:
+    def test_prefetched_block_counts_one_prefetch_hit(self):
+        cache = BlockCache(capacity_blocks=4)
+        assert cache.put_prefetched("a", b"1") is True
+        assert cache.stats.prefetched == 1
+        assert cache.get("a", loader(b"WRONG")) == b"1"
+        assert cache.stats.prefetch_hits == 1
+        # A second demand access is an ordinary hit, not a prefetch hit.
+        cache.get("a", loader(b"WRONG"))
+        assert cache.stats.prefetch_hits == 1
+        assert cache.stats.hits == 2
+
+    def test_put_prefetched_noop_when_resident(self):
+        cache = BlockCache(capacity_blocks=4)
+        cache.put("a", b"1")
+        cache.put_parsed("a", object())
+        assert cache.put_prefetched("a", b"STALE") is False
+        assert cache.get("a", loader(b"?")) == b"1"
+        assert cache.stats.prefetched == 0
+        assert cache.stats.prefetch_hits == 0
+        # The no-op stage must not clobber the decoded object either.
+        assert cache.get_parsed("a") is not None
+
+    def test_eviction_clears_prefetch_marker(self):
+        cache = BlockCache(capacity_blocks=1)
+        cache.put_prefetched("a", b"1")
+        cache.put("b", b"2")  # evicts the never-used prefetched block
+        cache.put("a", b"1")
+        cache.get("a", loader(b"?"))
+        assert cache.stats.prefetch_hits == 0
+
+
+class TestPinPressureRegressions:
+    def test_all_pinned_overflow_recovers_after_unpin(self):
+        """After the over-capacity fallback, unpinning lets the cache shed
+        the excess on the next insertion and return to capacity."""
+        cache = BlockCache(capacity_blocks=2)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.pin("a")
+        cache.pin("b")
+        cache.put("c", b"3")  # over capacity: everything else is pinned
+        assert len(cache) == 3
+        cache.unpin("a")
+        cache.unpin("b")
+        cache.put("d", b"4")  # sheds down to capacity again
+        assert len(cache) == cache.capacity_blocks
+        assert "d" in cache
+
+    def test_on_evict_fires_in_lru_order_under_pressure(self):
+        evicted = []
+        cache = BlockCache(capacity_blocks=3)
+        cache.on_evict = evicted.append
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.put("c", b"3")
+        cache.get("a", loader(b"?"))  # a is MRU; LRU order is now b, a? no: b, c, a
+        cache.put("d", b"4")
+        cache.put("e", b"5")
+        assert evicted == ["b", "c"]
+
+    def test_on_evict_not_fired_for_pinned_survivor(self):
+        evicted = []
+        cache = BlockCache(capacity_blocks=2)
+        cache.on_evict = evicted.append
+        cache.put("tail", b"t")
+        cache.pin("tail")
+        cache.put("a", b"1")
+        cache.put("b", b"2")  # evicts a, never tail
+        assert "tail" not in evicted
+        assert evicted == ["a"]
+
+    def test_clear_fires_on_evict_for_every_resident_block(self):
+        evicted = []
+        cache = BlockCache(capacity_blocks=4)
+        cache.on_evict = evicted.append
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.put("c", b"3")
+        cache.get("a", loader(b"?"))  # LRU order: b, c, a
+        cache.clear()
+        assert evicted == ["b", "c", "a"]
+        # A crash is not cache pressure: clear() does not count evictions.
+        assert cache.stats.evictions == 0
+
+    def test_clear_without_on_evict_is_silent(self):
+        cache = BlockCache(capacity_blocks=2)
+        cache.put("a", b"1")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.evictions == 0
+
+
 class TestCacheProperties:
     @given(
         st.lists(

@@ -1,0 +1,217 @@
+"""Read-side fast path: the parsed-block cache tier, the locate-result
+memo, and sequential read-ahead.
+
+The governing invariant throughout: the fast path changes *wall-clock*
+work, never the simulated cost model — a cached re-read charges the same
+``cached_block_ms`` whether or not ``parse_block`` actually ran, and
+read-ahead is off by default so the paper's one-block-per-access numbers
+reproduce unchanged.
+"""
+
+import pytest
+
+from repro.core import LogService
+from repro.worm.geometry import OPTICAL_DISK
+
+
+def make_service(**kwargs):
+    defaults = dict(
+        block_size=256,
+        degree_n=4,
+        volume_capacity_blocks=2048,
+        cache_capacity_blocks=1024,
+    )
+    defaults.update(kwargs)
+    return LogService.create(**defaults)
+
+
+def fill_blocks(log, blocks, block_size=256):
+    """Append enough entries to burn roughly ``blocks`` blocks."""
+    payload = b"x" * (block_size - 40)
+    for _ in range(blocks):
+        log.append(payload, timestamped=False)
+
+
+class TestParsedTierFastPath:
+    def test_cached_reread_parses_zero_blocks(self):
+        """The acceptance criterion: parse_block invocations per cached
+        re-read drop from one per access to zero."""
+        service = make_service()
+        log = service.create_log_file("/x")
+        fill_blocks(log, 20)
+        list(log.entries())  # cold pass decodes each block once
+        stats = service.reader.stats
+        cache = service.store.cache.stats
+        parsed_before = stats.blocks_parsed
+        accesses_before = cache.accesses
+        data = [e.data for e in log.entries()]  # warm pass
+        assert len(data) == 20
+        assert stats.blocks_parsed == parsed_before  # zero new parses
+        assert cache.accesses > accesses_before  # but real block accesses
+        assert cache.parse_avoided > 0
+
+    def test_sim_time_identical_with_and_without_pooled_decodes(self):
+        """Skipping parse_block is free in simulated time: a warm re-read
+        costs exactly the same before and after the decodes are pooled."""
+        service = make_service()
+        log = service.create_log_file("/x")
+        fill_blocks(log, 10)
+        list(log.entries())  # decode pool now full
+        t0 = service.clock.now_ms
+        list(log.entries())
+        first_warm = service.clock.now_ms - t0
+        t0 = service.clock.now_ms
+        list(log.entries())
+        second_warm = service.clock.now_ms - t0
+        assert first_warm == pytest.approx(second_warm)
+
+    def test_tail_append_invalidates_pooled_decode(self):
+        """Appending rewrites the tail block's bytes; a pooled decode of
+        the old image must never be served."""
+        service = make_service()
+        log = service.create_log_file("/x")
+        log.append(b"first")
+        assert [e.data for e in log.entries()] == [b"first"]
+        log.append(b"second")  # same tail block, new bytes
+        assert [e.data for e in log.entries()] == [b"first", b"second"]
+
+    def test_counters_survive_snapshot_delta(self):
+        service = make_service()
+        log = service.create_log_file("/x")
+        fill_blocks(log, 5)
+        list(log.entries())
+        before = service.reader.stats.snapshot()
+        cache_before = service.store.cache.stats.snapshot()
+        list(log.entries())
+        d = service.reader.stats.delta(before)
+        cd = service.store.cache.stats.delta(cache_before)
+        assert d.blocks_parsed == 0
+        assert cd.parse_avoided > 0
+
+
+class TestLocateMemo:
+    def test_repeated_scan_hits_memo(self):
+        service = make_service()
+        log = service.create_log_file("/x")
+        fill_blocks(log, 12)
+        list(log.entries())
+        hits_before = service.reader.stats.locate_memo_hits
+        examined_before = service.reader.stats.search.entrymap_entries_examined
+        list(log.entries())
+        assert service.reader.stats.locate_memo_hits > hits_before
+        # The memoized locates re-examined no entrymap entries at all.
+        assert (
+            service.reader.stats.search.entrymap_entries_examined
+            == examined_before
+        )
+
+    def test_append_invalidates_memo(self):
+        """The memo must never hide an entry appended after it was filled."""
+        service = make_service()
+        log = service.create_log_file("/x")
+        log.append(b"one")
+        assert [e.data for e in log.entries()] == [b"one"]
+        log.append(b"two")
+        assert [e.data for e in log.entries()] == [b"one", b"two"]
+        assert log.tail(1)[0].data == b"two"
+
+    def test_memo_results_match_uncached_results(self):
+        service = make_service()
+        log = service.create_log_file("/x")
+        fill_blocks(log, 8)
+        first = [e.location for e in log.entries()]
+        second = [e.location for e in log.entries()]  # memo-served locates
+        assert first == second
+
+
+class TestReadAhead:
+    def make_filled(self, blocks=200, readahead=0):
+        service = make_service(
+            geometry=OPTICAL_DISK,
+            readahead_blocks=readahead,
+            volume_capacity_blocks=4096,
+            cache_capacity_blocks=4096,
+        )
+        log = service.create_log_file("/x")
+        fill_blocks(log, blocks)
+        return service, log
+
+    @staticmethod
+    def burned(service):
+        """Blocks actually on the device (the in-progress tail block is
+        served from the writer's image, not a device read)."""
+        return service.store.sequence.volumes[0].next_data_block
+
+    def scan(self, service, blocks):
+        """A cold sequential cursor scan over the first ``blocks`` blocks."""
+        service.store.cache.clear()
+        for volume in service.store.sequence.volumes:
+            volume.device.stats.reset()
+        reader = service.reader
+        out = []
+        for g in range(blocks):
+            out.append(reader.read_parsed_global(g))
+        return out
+
+    def test_disabled_by_default_and_never_prefetches(self):
+        service, log = self.make_filled(blocks=50)
+        assert service.store.config.readahead_blocks == 0
+        n = self.burned(service)
+        self.scan(service, n)
+        assert service.store.cache.stats.prefetched == 0
+        seeks = sum(d.stats.seeks for d in service.devices)
+        assert seeks == n  # the paper's model: one seek per block access
+
+    def test_sequential_scan_amortizes_seeks(self):
+        service, log = self.make_filled(blocks=200, readahead=32)
+        n = self.burned(service)
+        self.scan(service, n)
+        seeks = sum(d.stats.seeks for d in service.devices)
+        # 1 cold single-block read + about ceil(n/32) bulk fetches
+        assert seeks <= 1 + (n // 32 + 1)
+        assert service.store.cache.stats.prefetched > 0
+        assert service.store.cache.stats.prefetch_hits > 0
+
+    def test_prefetched_scan_reads_identical_data(self):
+        plain_service, _ = self.make_filled(blocks=100, readahead=0)
+        ra_service, _ = self.make_filled(blocks=100, readahead=16)
+        n = self.burned(plain_service)
+        assert n == self.burned(ra_service)  # identical placement
+        plain = self.scan(plain_service, n)
+        fetched = self.scan(ra_service, n)
+        assert [p.fragments for p in plain] == [p.fragments for p in fetched]
+
+    def test_random_access_does_not_trigger_prefetch(self):
+        service, log = self.make_filled(blocks=64, readahead=16)
+        service.store.cache.clear()
+        reader = service.reader
+        for g in (40, 3, 27, 11, 55, 9):  # no two consecutive
+            reader.read_parsed_global(g)
+        assert service.store.cache.stats.prefetched == 0
+
+    def test_configure_readahead_on_live_service(self):
+        service, log = self.make_filled(blocks=100, readahead=0)
+        n = self.burned(service)
+        self.scan(service, n)
+        assert sum(d.stats.seeks for d in service.devices) == n
+        service.configure_readahead(25)
+        self.scan(service, n)
+        assert sum(d.stats.seeks for d in service.devices) <= 1 + (n // 25 + 1)
+        service.configure_readahead(0)
+        self.scan(service, n)
+        assert sum(d.stats.seeks for d in service.devices) == n
+
+    def test_negative_readahead_rejected(self):
+        service = make_service()
+        with pytest.raises(ValueError):
+            service.configure_readahead(-1)
+
+    def test_prefetch_skips_invalidated_blocks(self):
+        service, log = self.make_filled(blocks=40, readahead=16)
+        # Invalidate a block inside the prefetch window.
+        service.store.sequence.volumes[0].invalidate_data_block(10)
+        service.store.cache.clear()
+        reader = service.reader
+        results = [reader.read_parsed_global(g) for g in range(20)]
+        assert results[10] is None
+        assert all(results[g] is not None for g in range(20) if g != 10)

@@ -238,6 +238,71 @@ class TestRewritableDevice:
 # Property tests
 # ---------------------------------------------------------------------------
 
+class TestReadBlocks:
+    def test_reads_written_run(self):
+        dev = make_device()
+        for i in range(6):
+            dev.append_block(block(i))
+        assert dev.read_blocks(1, 4) == [block(1), block(2), block(3), block(4)]
+
+    def test_stops_at_append_frontier(self):
+        dev = make_device()
+        for i in range(3):
+            dev.append_block(block(i))
+        assert dev.read_blocks(1, 10) == [block(1), block(2)]
+
+    def test_invalidated_block_yields_none_slot(self):
+        dev = make_device()
+        dev.append_block(block(0))
+        dev.invalidate(1)
+        dev.append_block(block(2))
+        assert dev.read_blocks(0, 3) == [block(0), None, block(2)]
+
+    def test_empty_inputs(self):
+        dev = make_device()
+        dev.append_block(block(0))
+        assert dev.read_blocks(0, 0) == []
+        assert dev.read_blocks(1, 4) == []  # starts at unwritten frontier
+
+    def test_out_of_range_start_rejected(self):
+        dev = make_device(capacity=4)
+        with pytest.raises(BlockOutOfRange):
+            dev.read_blocks(4, 1)
+
+    def test_clamps_to_capacity(self):
+        dev = make_device(capacity=4)
+        for i in range(4):
+            dev.append_block(block(i))
+        assert len(dev.read_blocks(2, 100)) == 2
+
+    def test_charges_one_seek_for_the_whole_run(self):
+        from repro.worm.geometry import OPTICAL_DISK
+
+        dev = make_device(capacity=64, geometry=OPTICAL_DISK)
+        for i in range(32):
+            dev.append_block(block(i))
+        dev.read_block(0)  # park the head at a known position
+        before = dev.stats.snapshot()
+        dev.read_blocks(8, 16)
+        delta = dev.stats.delta(before)
+        assert delta.seeks == 1
+        assert delta.reads == 16
+        expected = OPTICAL_DISK.bulk_access_ms(0, 8, 16)
+        assert delta.busy_ms == pytest.approx(expected)
+        # One bulk transfer is far cheaper than 16 one-block accesses.
+        single = OPTICAL_DISK.access_ms(0, 8) + 15 * OPTICAL_DISK.access_ms(0, 0)
+        assert delta.busy_ms < single
+
+    def test_single_block_reads_count_one_seek_each(self):
+        dev = make_device()
+        for i in range(4):
+            dev.append_block(block(i))
+        before = dev.stats.snapshot()
+        for i in range(4):
+            dev.read_block(i)
+        assert dev.stats.delta(before).seeks == 4
+
+
 payloads = st.binary(min_size=BS, max_size=BS)
 
 

@@ -137,6 +137,69 @@ class TestLogVolume:
         assert vol.is_data_invalidated(0)
 
 
+class TestReadDataBlocks:
+    def make_volume(self, capacity=16):
+        return LogVolume.create(
+            make_device(capacity),
+            degree_n=4,
+            sequence_id=b"S" * 16,
+            volume_index=0,
+        )
+
+    def test_reads_run_and_stops_at_frontier(self):
+        vol = self.make_volume()
+        for i in range(4):
+            vol.append_data_block(bytes([i]) * BS)
+        assert vol.read_data_blocks(1, 10) == [
+            bytes([1]) * BS,
+            bytes([2]) * BS,
+            bytes([3]) * BS,
+        ]
+
+    def test_invalidated_slot_is_none(self):
+        vol = self.make_volume()
+        vol.append_data_block(bytes([0]) * BS)
+        vol.invalidate_data_block(1)
+        vol.append_data_block(bytes([2]) * BS)
+        assert vol.read_data_blocks(0, 3) == [bytes([0]) * BS, None, bytes([2]) * BS]
+
+    def test_out_of_range_and_empty(self):
+        vol = self.make_volume()
+        vol.append_data_block(bytes(BS))
+        assert vol.read_data_blocks(-1, 4) == []
+        assert vol.read_data_blocks(vol.data_capacity, 4) == []
+        assert vol.read_data_blocks(0, 0) == []
+
+    def test_offline_volume_raises(self):
+        from repro.worm import VolumeOfflineError
+
+        vol = self.make_volume()
+        vol.append_data_block(bytes(BS))
+        vol.seal()
+        vol.take_offline()
+        with pytest.raises(VolumeOfflineError):
+            vol.read_data_blocks(0, 1)
+
+    def test_fallback_for_devices_without_bulk_read(self):
+        """A mirrored device has no multi-block op; the volume falls back
+        to per-block reads with identical results."""
+        from repro.worm.mirror import MirroredWormDevice
+
+        mirror = MirroredWormDevice(
+            [make_device(), make_device()]
+        )
+        vol = LogVolume.create(
+            mirror, degree_n=4, sequence_id=b"S" * 16, volume_index=0
+        )
+        for i in range(3):
+            vol.append_data_block(bytes([i]) * BS)
+        assert vol.read_data_blocks(0, 5) == [
+            bytes([0]) * BS,
+            bytes([1]) * BS,
+            bytes([2]) * BS,
+        ]
+
+
 class TestTailDiscovery:
     def test_tail_query_path(self):
         vol = LogVolume.create(
