@@ -2,13 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fastpath bench-tables examples fsck-demo obs-demo health-demo outputs clean
+.PHONY: install test lint check bench bench-fastpath bench-tables examples fsck-demo obs-demo health-demo outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The clio-lint invariant analyzer (docs/LINTING.md): WORM encapsulation,
+# sim-time purity, charge discipline, and friends.  Exit 1 on findings.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src/repro
+
+# Pre-commit gate: lint + tier-1 tests (+ mypy when installed).
+check:
+	./scripts/check.sh
 
 bench:
 	CLIO_BENCH_RECORD_DIR=. $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Pre-commit gate for the Clio reproduction: the clio-lint invariant
+# analyzer, the tier-1 test suite, and (when installed) mypy --strict over
+# the typed packages.  Run from the repository root:  ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== clio lint src/repro =="
+PYTHONPATH=src python -m repro lint src/repro
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q
+
+if python -c "import mypy" >/dev/null 2>&1; then
+    echo "== mypy --strict src/repro/worm src/repro/vsystem =="
+    PYTHONPATH=src python -m mypy --strict src/repro/worm src/repro/vsystem
+else
+    echo "== mypy not installed; skipping type check =="
+fi
+
+echo "All checks passed."

@@ -30,7 +30,7 @@ from repro.core import LogService
 from repro.core.fsck import check_service
 from repro.worm.filebacked import FileBackedNvram, FileBackedWormDevice
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 
 def _volume_paths(directory: str) -> list[str]:
@@ -79,7 +79,7 @@ def _mount(
 # ---------------------------------------------------------------------- #
 
 
-def cmd_init(args) -> int:
+def _cmd_init(args) -> int:
     os.makedirs(args.store, exist_ok=True)
     if _volume_paths(args.store):
         print(f"error: {args.store!r} already contains a Clio store", file=sys.stderr)
@@ -102,21 +102,21 @@ def cmd_init(args) -> int:
     return 0
 
 
-def cmd_create(args) -> int:
+def _cmd_create(args) -> int:
     service = _mount(args.store)
     log = service.create_log_file(args.path, permissions=args.mode)
     print(f"created {log.path} (log file id {log.logfile_id})")
     return 0
 
 
-def cmd_ls(args) -> int:
+def _cmd_ls(args) -> int:
     service = _mount(args.store, read_only=True)
     for name, handle in service.list_dir(args.path).items():
         print(f"{handle.logfile_id:5d}  {name}")
     return 0
 
 
-def cmd_append(args) -> int:
+def _cmd_append(args) -> int:
     service = _mount(args.store)
     if args.stdin:
         raw = sys.stdin.buffer.read()
@@ -144,7 +144,7 @@ def cmd_append(args) -> int:
     return 0
 
 
-def cmd_cat(args) -> int:
+def _cmd_cat(args) -> int:
     service = _mount(
         args.store, read_only=True, readahead_blocks=args.readahead
     )
@@ -164,7 +164,7 @@ def cmd_cat(args) -> int:
     return 0
 
 
-def cmd_info(args) -> int:
+def _cmd_info(args) -> int:
     service = _mount(args.store, read_only=True)
     sequence = service.store.sequence
     config = service.store.config
@@ -199,7 +199,7 @@ def cmd_info(args) -> int:
     return 0
 
 
-def cmd_volumes(args) -> int:
+def _cmd_volumes(args) -> int:
     """List the volume sequence (the offline/online state is a property of
     a running server session; the CLI mounts all images fresh each time)."""
     service = _mount(args.store, read_only=True)
@@ -215,7 +215,7 @@ def cmd_volumes(args) -> int:
     return 0
 
 
-def cmd_fsck(args) -> int:
+def _cmd_fsck(args) -> int:
     service = _mount(args.store, read_only=True)
     report = check_service(service)
     print(
@@ -267,7 +267,7 @@ def _render_stats_table(service: LogService) -> None:
             print(f"  {label_text or '-':<24} {rendered}")
 
 
-def cmd_stats(args) -> int:
+def _cmd_stats(args) -> int:
     """Live counters for a store: mount it (running real recovery, which
     itself populates the recovery metric family) and render the registry."""
     service = _mount(args.store, read_only=True, observability=True)
@@ -298,13 +298,13 @@ def cmd_stats(args) -> int:
     elif args.format == "json":
         import json
 
-        print(json.dumps(json_snapshot(service.metrics), indent=2))
+        print(json.dumps(json_snapshot(service.metrics), indent=2, sort_keys=True))
     else:
         _render_stats_table(service)
     return 0
 
 
-def cmd_trace(args) -> int:
+def _cmd_trace(args) -> int:
     """Span trees from a traced mount (and optional reads).
 
     All timestamps are simulated time, so the same store produces the same
@@ -326,14 +326,14 @@ def cmd_trace(args) -> int:
     if args.format == "json":
         import json
 
-        print(json.dumps([span.as_dict() for span in roots], indent=2))
+        print(json.dumps([span.as_dict() for span in roots], indent=2, sort_keys=True))
     else:
         for span in roots:
             print(format_span_tree(span))
     return 0
 
 
-def cmd_events(args) -> int:
+def _cmd_events(args) -> int:
     """The structured event journal for a mount (and optional reads).
 
     Mounting itself emits the recovery-phase events, so even a bare
@@ -369,7 +369,7 @@ def cmd_events(args) -> int:
     return 0
 
 
-def cmd_profile(args) -> int:
+def _cmd_profile(args) -> int:
     """Cost-attribution profile: where the simulated time of a workload
     went, by operation and cost-model component (Section 3's
     decomposition, live)."""
@@ -389,7 +389,7 @@ def cmd_profile(args) -> int:
     return 0
 
 
-def cmd_health(args) -> int:
+def _cmd_health(args) -> int:
     """Evaluate SLO rules against a store; nonzero exit when alerts fire.
 
     The default ruleset checks the paper's own bounds (recovery and locate
@@ -436,6 +436,12 @@ def cmd_health(args) -> int:
     return 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run as lint_run
+
+    return lint_run(args)
+
+
 # ---------------------------------------------------------------------- #
 # Argument parsing
 # ---------------------------------------------------------------------- #
@@ -452,18 +458,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-size", type=int, default=1024)
     p.add_argument("--degree", type=int, default=16)
     p.add_argument("--capacity", type=int, default=4096, help="blocks per volume")
-    p.set_defaults(handler=cmd_init)
+    p.set_defaults(handler=_cmd_init)
 
     p = commands.add_parser("create", help="create a log file / sublog")
     p.add_argument("store")
     p.add_argument("path")
     p.add_argument("--mode", type=lambda v: int(v, 8), default=0o644)
-    p.set_defaults(handler=cmd_create)
+    p.set_defaults(handler=_cmd_create)
 
     p = commands.add_parser("ls", help="list sublogs of a log file")
     p.add_argument("store")
     p.add_argument("path", nargs="?", default="/")
-    p.set_defaults(handler=cmd_ls)
+    p.set_defaults(handler=_cmd_ls)
 
     p = commands.add_parser("append", help="append one entry")
     p.add_argument("store")
@@ -475,7 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --stdin: append each input line as its own entry",
     )
-    p.set_defaults(handler=cmd_append)
+    p.set_defaults(handler=_cmd_append)
 
     p = commands.add_parser("cat", help="print a log file's entries")
     p.add_argument("store")
@@ -492,19 +498,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="sequential read-ahead window in blocks (0 = off, the "
         "paper's one-block-per-access model)",
     )
-    p.set_defaults(handler=cmd_cat)
+    p.set_defaults(handler=_cmd_cat)
 
     p = commands.add_parser("info", help="store summary")
     p.add_argument("store")
-    p.set_defaults(handler=cmd_info)
+    p.set_defaults(handler=_cmd_info)
 
     p = commands.add_parser("fsck", help="consistency check")
     p.add_argument("store")
-    p.set_defaults(handler=cmd_fsck)
+    p.set_defaults(handler=_cmd_fsck)
 
     p = commands.add_parser("volumes", help="list the volume sequence")
     p.add_argument("store")
-    p.set_defaults(handler=cmd_volumes)
+    p.set_defaults(handler=_cmd_volumes)
 
     p = commands.add_parser(
         "stats", help="live metrics for a store (device/cache/locate/recovery)"
@@ -531,7 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the store as a read workload, re-rendering the table "
         "every SIM_MS milliseconds of simulated time",
     )
-    p.set_defaults(handler=cmd_stats)
+    p.set_defaults(handler=_cmd_stats)
 
     p = commands.add_parser(
         "trace", help="sim-time span trees for a mount (and optional reads)"
@@ -545,7 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--limit", type=int, default=None, help="show at most N trees")
     p.add_argument("--format", choices=("tree", "json"), default="tree")
-    p.set_defaults(handler=cmd_trace)
+    p.set_defaults(handler=_cmd_trace)
 
     p = commands.add_parser(
         "events", help="structured event journal for a mount"
@@ -564,7 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="read back the durable /events log instead of the live ring",
     )
-    p.set_defaults(handler=cmd_events)
+    p.set_defaults(handler=_cmd_events)
 
     p = commands.add_parser(
         "profile",
@@ -580,7 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--repeat", type=int, default=1, help="read each path N times"
     )
-    p.set_defaults(handler=cmd_profile)
+    p.set_defaults(handler=_cmd_profile)
 
     p = commands.add_parser(
         "health", help="evaluate SLO rules; nonzero exit on alerts"
@@ -609,7 +615,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print previously persisted alerts from /alerts",
     )
-    p.set_defaults(handler=cmd_health)
+    p.set_defaults(handler=_cmd_health)
+
+    p = commands.add_parser(
+        "lint",
+        help="run the clio-lint invariant analyzer (see docs/LINTING.md)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -29,7 +29,13 @@ import struct
 import zlib
 from dataclasses import dataclass
 
-__all__ = ["BlockFormatError", "ParsedBlock", "BlockBuilder", "BLOCK_OVERHEAD"]
+__all__ = [
+    "BlockFormatError",
+    "ParsedBlock",
+    "BlockBuilder",
+    "BLOCK_OVERHEAD",
+    "parse_block",
+]
 
 _MAGIC = 0xC1
 _FLAG_CONT_IN = 0x01

@@ -43,6 +43,7 @@ __all__ = [
     "EntrymapSearch",
     "SearchStats",
     "UNTRACKED_IDS",
+    "max_level_for",
 ]
 
 #: Log files with no entrymap bitmaps (Section 2.1, footnote 6): the volume

@@ -37,6 +37,7 @@ __all__ = [
     "replay_catalog",
     "decode_corrupted_block_record",
     "encode_corrupted_block_record",
+    "replay_corrupted_block_log",
 ]
 
 _CORRUPT_RECORD = struct.Struct(">IQ")

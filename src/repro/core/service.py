@@ -46,6 +46,7 @@ from repro.core.writer import AppendResult, TailWriter
 from repro.vsystem.clock import SimClock
 from repro.vsystem.costs import SUN3, CostModel
 from repro.worm.device import WormDevice
+from repro.worm.errors import StorageError
 from repro.worm.nvram import NvramTail
 from repro.worm.volume import LogVolume, VolumeSequence
 
@@ -793,7 +794,7 @@ class LogService:
                     CORRUPTED_BLOCK_ID,
                     encode_corrupted_block_record(volume_index, local_block),
                 )
-            except Exception:
+            except StorageError:
                 # Best effort: the in-memory set still knows.
                 pass
 

@@ -1,0 +1,52 @@
+"""Baseline files: accepted pre-existing findings.
+
+A baseline is a JSON document mapping finding fingerprints (see
+:attr:`repro.lint.base.Finding.fingerprint` — line-number tolerant) to a
+human-readable description of the accepted finding.  ``clio lint
+--write-baseline`` records the current findings; subsequent runs subtract
+them, so CI fails only on *new* findings.  The repository ships an empty
+baseline: every real violation was fixed, not grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.base import Finding
+
+__all__ = ["load_baseline", "write_baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".clio-lint-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Fingerprints accepted by the baseline at ``path`` (empty if absent)."""
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"unrecognized baseline format in {path}")
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError(f"unrecognized baseline format in {path}")
+    return set(findings)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Persist ``findings`` as the new accepted baseline (sorted, stable)."""
+    document = {
+        "version": _VERSION,
+        "findings": {
+            finding.fingerprint: finding.render()
+            for finding in sorted(
+                findings, key=lambda f: (f.path, f.line, f.rule, f.occurrence)
+            )
+        },
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

@@ -1,0 +1,113 @@
+"""Renderers for lint results: human text, JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format CI systems ingest for code-scanning
+annotations; the emitted document is the minimal valid subset (driver,
+rule metadata, one result per finding with a physical location).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.base import Finding, Rule
+from repro.lint.engine import LintResult
+
+__all__ = ["render_text", "render_json", "render_sarif"]
+
+_TOOL_NAME = "clio-lint"
+_TOOL_VERSION = "1.0.0"
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(result: LintResult, new_findings: list[Finding]) -> str:
+    """The human report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in new_findings]
+    baselined = len(result.findings) - len(new_findings)
+    summary = (
+        f"{len(new_findings)} finding(s) in {result.files_checked} file(s)"
+    )
+    if baselined:
+        summary += f" ({baselined} baselined)"
+    if result.suppressed:
+        summary += f" ({result.suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, new_findings: list[Finding]) -> str:
+    document = {
+        "tool": _TOOL_NAME,
+        "version": _TOOL_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "baselined": len(result.findings) - len(new_findings),
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "severity": finding.severity,
+                "message": finding.message,
+                "fingerprint": finding.fingerprint,
+            }
+            for finding in new_findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    result: LintResult,
+    new_findings: list[Finding],
+    rules: list[Rule],
+) -> str:
+    rule_meta = [
+        {
+            "id": rule.name,
+            "shortDescription": {"text": rule.description},
+            "properties": {"paperSection": rule.paper_section},
+        }
+        for rule in rules
+    ]
+    rule_index = {meta["id"]: i for i, meta in enumerate(rule_meta)}
+    results = []
+    for finding in new_findings:
+        entry = {
+            "ruleId": finding.rule,
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {"startLine": finding.line},
+                    }
+                }
+            ],
+            "partialFingerprints": {"clioLint/v1": finding.fingerprint},
+        }
+        if finding.rule in rule_index:
+            entry["ruleIndex"] = rule_index[finding.rule]
+        results.append(entry)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "version": _TOOL_VERSION,
+                        "informationUri": "docs/LINTING.md",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

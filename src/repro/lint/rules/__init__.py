@@ -1,0 +1,49 @@
+"""The default rule set for ``clio lint``.
+
+Eight rules, each protecting an invariant the runtime can only catch late
+or not at all; see ``docs/LINTING.md`` for the catalog with paper
+references.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import Rule
+from repro.lint.rules.encoding import DeterministicJsonRule
+from repro.lint.rules.hygiene import (
+    ExceptionHygieneRule,
+    ExportHygieneRule,
+    MutableDefaultRule,
+)
+from repro.lint.rules.metrics import MetricsDriftRule
+from repro.lint.rules.purity import SimTimePurityRule
+from repro.lint.rules.worm import ChargeDisciplineRule, WormEncapsulationRule
+
+__all__ = [
+    "DEFAULT_RULES",
+    "default_rules",
+    "SimTimePurityRule",
+    "WormEncapsulationRule",
+    "ChargeDisciplineRule",
+    "ExceptionHygieneRule",
+    "MutableDefaultRule",
+    "ExportHygieneRule",
+    "DeterministicJsonRule",
+    "MetricsDriftRule",
+]
+
+#: Rule classes, in reporting order.
+DEFAULT_RULES: tuple[type[Rule], ...] = (
+    SimTimePurityRule,
+    WormEncapsulationRule,
+    ChargeDisciplineRule,
+    ExceptionHygieneRule,
+    MutableDefaultRule,
+    ExportHygieneRule,
+    DeterministicJsonRule,
+    MetricsDriftRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every default rule."""
+    return [cls() for cls in DEFAULT_RULES]

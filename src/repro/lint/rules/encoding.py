@@ -1,0 +1,86 @@
+"""Rule: deterministic JSON encoding.
+
+Several persisted formats in the reproduction are JSON underneath — the
+event journal's encoded records, benchmark snapshots, CLI ``--format
+json`` output that tests byte-compare.  Python dicts preserve insertion
+order, so ``json.dumps`` without ``sort_keys=True`` encodes *construction
+order*, and two logically identical records can serialize differently.
+On write-once storage that is worse than cosmetic: a journal re-persisted
+after recovery would burn different bytes for the same history.  The rule
+flags every ``json.dumps``/``json.dump`` call that does not pass a literal
+``sort_keys=True``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import FileContext, Finding, Rule
+
+__all__ = ["DeterministicJsonRule"]
+
+
+class DeterministicJsonRule(Rule):
+    name = "nondeterministic-json"
+    description = (
+        "json.dumps/json.dump must pass sort_keys=True so identical state "
+        "always encodes to identical bytes (journals must byte-compare "
+        "equal across runs)."
+    )
+    paper_section = "§2.1 (entries are immutable once written)"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        json_aliases: set[str] = set()
+        dump_names: set[str] = set()  # from json import dumps [as x]
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "json":
+                        json_aliases.add(alias.asname or "json")
+            elif isinstance(node, ast.ImportFrom) and node.module == "json":
+                for alias in node.names:
+                    if alias.name in ("dumps", "dump"):
+                        dump_names.add(alias.asname or alias.name)
+
+        if not json_aliases and not dump_names:
+            return findings
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called: str | None = None
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in json_aliases
+                and func.attr in ("dumps", "dump")
+            ):
+                called = f"{func.value.id}.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in dump_names:
+                called = func.id
+            if called is None:
+                continue
+            sorted_ok = False
+            for keyword in node.keywords:
+                if keyword.arg == "sort_keys":
+                    value = keyword.value
+                    sorted_ok = (
+                        isinstance(value, ast.Constant) and value.value is True
+                    )
+                elif keyword.arg is None:
+                    # **kwargs — cannot prove either way; trust it.
+                    sorted_ok = True
+            if not sorted_ok:
+                findings.append(
+                    ctx.finding(
+                        self.name,
+                        node,
+                        f"'{called}(...)' without sort_keys=True encodes "
+                        f"dict construction order; identical state must "
+                        f"serialize to identical bytes",
+                    )
+                )
+        return findings

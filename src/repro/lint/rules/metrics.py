@@ -1,0 +1,236 @@
+"""Rule: metrics drift (cross-file).
+
+``obs/wiring.py`` is the single place metric families are registered, and
+``docs/OBSERVABILITY.md`` is their contract with humans.  This rule keeps
+three views of the metric namespace synchronized:
+
+1. every family registered in ``wiring.py`` is documented in
+   ``docs/OBSERVABILITY.md``;
+2. every ``clio_*`` name the documentation promises is actually
+   registered;
+3. every ``clio_*`` name referenced anywhere else in the source (SLO rule
+   specs, defaults, tests embedded in src) resolves to a registered
+   family.
+
+Registration calls use f-strings inside comprehensions over literal
+tuples (``f"clio_device_{field}_total" for field in ("reads", ...)``);
+the rule expands those statically, so adding a stats field to the
+comprehension without documenting the new metric is a lint error.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.base import FileContext, Finding, ProjectContext, ProjectRule
+
+__all__ = ["MetricsDriftRule"]
+
+_REGISTRY_METHODS = frozenset({"counter", "gauge", "histogram"})
+_METRIC_RE = re.compile(r"\bclio_[a-z0-9_]*[a-z0-9]\b")
+#: Derived Prometheus series suffixes emitted for histogram families.
+_SERIES_SUFFIXES = ("_bucket", "_sum", "_count")
+
+_WIRING_SUFFIX = "obs/wiring.py"
+_DOC_RELPATH = "docs/OBSERVABILITY.md"
+
+
+def _docstring_nodes(tree: ast.Module) -> set[int]:
+    """``id()`` of every Constant node that is a docstring."""
+    ids: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                ids.add(id(body[0].value))
+    return ids
+
+
+def _comprehension_env(call: ast.Call, tree: ast.Module) -> dict[str, list[str]]:
+    """Map loop-variable names to their literal string values for every
+    comprehension that contains ``call`` and iterates a literal tuple/list."""
+    env: dict[str, list[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.DictComp, ast.ListComp, ast.SetComp,
+                                 ast.GeneratorExp)):
+            continue
+        if not any(child is call for child in ast.walk(node)):
+            continue
+        for gen in node.generators:
+            if not isinstance(gen.target, ast.Name):
+                continue
+            if not isinstance(gen.iter, (ast.Tuple, ast.List)):
+                continue
+            values = []
+            for element in gen.iter.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    values.append(element.value)
+            if values and len(values) == len(gen.iter.elts):
+                env[gen.target.id] = values
+    return env
+
+
+def _expand_name(node: ast.expr, env: dict[str, list[str]]) -> list[str] | None:
+    """Statically evaluate a metric-name expression to its possible values.
+
+    Handles string constants and f-strings whose placeholders are loop
+    variables over literal tuples.  Returns ``None`` when the expression
+    cannot be expanded (the rule then reports it as unanalyzable).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, ast.JoinedStr):
+        expansions = [""]
+        for part in node.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                expansions = [prefix + part.value for prefix in expansions]
+            elif isinstance(part, ast.FormattedValue) and isinstance(
+                part.value, ast.Name
+            ):
+                values = env.get(part.value.id)
+                if values is None:
+                    return None
+                expansions = [
+                    prefix + value
+                    for prefix in expansions
+                    for value in values
+                ]
+            else:
+                return None
+        return expansions
+    return None
+
+
+class MetricsDriftRule(ProjectRule):
+    name = "metrics-drift"
+    description = (
+        "Metric families registered in obs/wiring.py, referenced in "
+        "source, and documented in docs/OBSERVABILITY.md must agree."
+    )
+    paper_section = "§1 (performance monitoring as a log application)"
+
+    def check_project(self, project: ProjectContext) -> list[Finding]:
+        wiring = project.find(_WIRING_SUFFIX)
+        if wiring is None:
+            return []
+        findings: list[Finding] = []
+
+        # ---- 1. collect registrations (with f-string expansion) -------- #
+        registered: dict[str, int] = {}  # name -> first registration line
+        histograms: set[str] = set()
+        for node in ast.walk(wiring.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _REGISTRY_METHODS
+            ):
+                continue
+            name_expr: ast.expr | None = None
+            if node.args:
+                name_expr = node.args[0]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "name":
+                        name_expr = keyword.value
+            if name_expr is None:
+                continue
+            env = _comprehension_env(node, wiring.tree)
+            names = _expand_name(name_expr, env)
+            if names is None:
+                findings.append(
+                    wiring.finding(
+                        self.name,
+                        name_expr,
+                        "metric name is not statically analyzable; use a "
+                        "string literal or an f-string over a literal tuple",
+                    )
+                )
+                continue
+            for metric in names:
+                registered.setdefault(metric, name_expr.lineno)
+                if func.attr == "histogram":
+                    histograms.add(metric)
+
+        def resolves(metric: str) -> bool:
+            if metric in registered:
+                return True
+            for suffix in _SERIES_SUFFIXES:
+                if metric.endswith(suffix) and (
+                    metric[: -len(suffix)] in histograms
+                ):
+                    return True
+            return False
+
+        # ---- 2. registered vs documented ------------------------------- #
+        doc_path = project.root / _DOC_RELPATH
+        doc_names: dict[str, int] = {}
+        if doc_path.is_file():
+            doc_text = doc_path.read_text(encoding="utf-8")
+            for number, line in enumerate(doc_text.splitlines(), start=1):
+                for match in _METRIC_RE.finditer(line):
+                    doc_names.setdefault(match.group(0), number)
+            for metric, lineno in sorted(registered.items()):
+                if metric not in doc_names:
+                    findings.append(
+                        wiring.finding(
+                            self.name,
+                            lineno,
+                            f"metric {metric!r} is registered but not "
+                            f"documented in {_DOC_RELPATH}",
+                        )
+                    )
+            for metric, doc_line in sorted(doc_names.items()):
+                if not resolves(metric):
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=_DOC_RELPATH,
+                            line=doc_line,
+                            message=(
+                                f"{_DOC_RELPATH} documents {metric!r} but "
+                                f"obs/wiring.py never registers it"
+                            ),
+                            line_text=doc_text.splitlines()[
+                                doc_line - 1
+                            ].strip(),
+                        )
+                    )
+
+        # ---- 3. references elsewhere in source ------------------------- #
+        for ctx in project.files:
+            if ctx is wiring:
+                continue
+            docstrings = _docstring_nodes(ctx.tree)
+            for node in ast.walk(ctx.tree):
+                if not (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                ):
+                    continue
+                if id(node) in docstrings:
+                    continue  # prose, not a metric reference
+                for match in _METRIC_RE.finditer(node.value):
+                    metric = match.group(0)
+                    if not resolves(metric):
+                        findings.append(
+                            ctx.finding(
+                                self.name,
+                                node,
+                                f"references metric {metric!r}, which "
+                                f"obs/wiring.py never registers",
+                            )
+                        )
+        return findings

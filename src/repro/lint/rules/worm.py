@@ -1,0 +1,332 @@
+"""Rules: WORM encapsulation and charge discipline.
+
+Section 2's device contract — "append-only write access; more general
+types of write access are not necessary" — is enforced at runtime by
+:class:`~repro.worm.device.WormDevice`, but only for callers that go
+through its public surface.  The encapsulation rule makes reaching around
+that surface (touching ``_blocks``, calling ``_raw_overwrite``) a lint
+error outside ``repro/worm``, where the fault-injection back doors
+legitimately live.
+
+The charge-discipline rule protects the Section-3 cost model: every
+implementation of a device/volume I/O primitive must, transitively, charge
+simulated time (``charge``/``charge_many``/``_charge``/``advance_ms``), so
+no I/O path can silently skip the clock.  The check is a call-graph
+fixpoint: a primitive may delegate to another primitive (mirrors,
+file-backed devices, volumes delegating to their device) as long as every
+definition of the delegate name charges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.base import FileContext, Finding, ProjectContext, ProjectRule, Rule
+
+__all__ = ["WormEncapsulationRule", "ChargeDisciplineRule"]
+
+#: Private WormDevice members that constitute the raw storage surface.
+_WORM_PRIVATE = frozenset(
+    {
+        "_blocks",
+        "_invalidated",
+        "_next_writable",
+        "_raw_overwrite",
+        "_advance_past_invalidated",
+        "_head_position",
+        "_charge",
+        "_charge_bulk",
+        "_check_range",
+        "_check_payload",
+    }
+)
+
+
+class WormEncapsulationRule(Rule):
+    name = "worm-encapsulation"
+    description = (
+        "Outside repro/worm, no access to a device's private block storage "
+        "(_blocks, _raw_overwrite, ...): the append-only contract is "
+        "enforced by the device layer, not by convention."
+    )
+    paper_section = "§2 (append-only device contract), §2.3.2 (corruption)"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if ctx.in_package("worm") or ctx.in_package("repro", "worm"):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in _WORM_PRIVATE:
+                continue
+            value = node.value
+            # A class's *own* private attribute (self._blocks in a baseline
+            # index) is its own business; the rule targets reaching into
+            # somebody else's device.
+            if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+                continue
+            receiver = ast.unparse(value)
+            findings.append(
+                ctx.finding(
+                    self.name,
+                    node,
+                    f"access to private WORM storage member "
+                    f"'{receiver}.{node.attr}' outside repro/worm; go "
+                    f"through the device's public append/read surface",
+                )
+            )
+        return findings
+
+
+# --------------------------------------------------------------------- #
+# Charge discipline
+# --------------------------------------------------------------------- #
+
+#: I/O primitive method names whose every definition must charge.
+_IO_PRIMITIVES = frozenset(
+    {
+        "read_block",
+        "read_blocks",
+        "write_block",
+        "append_block",
+        "invalidate",
+        "read_data_block",
+        "read_data_blocks",
+        "append_data_block",
+        "invalidate_data_block",
+    }
+)
+
+#: Calls that advance the simulated clock (directly or via the store).
+_CHARGE_SINKS = frozenset(
+    {
+        "charge",
+        "charge_us",
+        "charge_many",
+        "_charge",
+        "_charge_bulk",
+        "advance_ms",
+        "advance_us",
+    }
+)
+
+#: Method names exempt from the *caller*-side check: probes and queries the
+#: paper models as free firmware operations (written-probe bookkeeping is
+#: counted in DeviceStats but costs no simulated time).
+_EXEMPT_DEFS = frozenset({"is_written", "is_invalidated", "query_tail"})
+
+
+@dataclass
+class _FuncInfo:
+    qualname: str
+    module: str  # relpath
+    lineno: int
+    #: bare names of everything this function calls (attr or name).
+    callees: set[str] = field(default_factory=set)
+    direct_sink: bool = False
+    #: (name, lineno) of I/O primitive calls made by this function.
+    io_calls: list[tuple[str, int]] = field(default_factory=list)
+    #: @abstractmethod or a docstring/pass/raise-only body: an interface
+    #: declaration, not an implementation — exempt from the check.
+    abstract: bool = False
+
+
+def _is_abstract(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        name = (
+            decorator.attr
+            if isinstance(decorator, ast.Attribute)
+            else decorator.id if isinstance(decorator, ast.Name) else ""
+        )
+        if name in ("abstractmethod", "abstractproperty"):
+            return True
+    for stmt in node.body:
+        if isinstance(stmt, (ast.Pass, ast.Raise)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ...
+        return False
+    return True
+
+
+def _collect_functions(ctx: FileContext) -> list[_FuncInfo]:
+    infos: list[_FuncInfo] = []
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.stack: list[str] = []
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self.stack.append(node.name)
+            self.generic_visit(node)
+            self.stack.pop()
+
+        def _visit_func(self, node) -> None:
+            info = _FuncInfo(
+                qualname=".".join(self.stack + [node.name]),
+                module=ctx.relpath,
+                lineno=node.lineno,
+                abstract=_is_abstract(node),
+            )
+            for child in ast.walk(node):
+                if isinstance(child, ast.Call):
+                    func = child.func
+                    name = None
+                    if isinstance(func, ast.Attribute):
+                        name = func.attr
+                    elif isinstance(func, ast.Name):
+                        name = func.id
+                    if name is None:
+                        continue
+                    info.callees.add(name)
+                    if name in _CHARGE_SINKS:
+                        info.direct_sink = True
+                    if name in _IO_PRIMITIVES:
+                        info.io_calls.append((name, child.lineno))
+            infos.append(info)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self._visit_func(node)
+            # Nested defs also get their own info entries.
+            self.stack.append(node.name)
+            self.generic_visit(node)
+            self.stack.pop()
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    Visitor().visit(ctx.tree)
+    return infos
+
+
+class ChargeDisciplineRule(ProjectRule):
+    name = "charge-discipline"
+    description = (
+        "Every implementation of a device/volume I/O primitive in "
+        "repro/worm or repro/core must transitively charge simulated time; "
+        "any other function there that performs device I/O must go through "
+        "a charging primitive or charge itself."
+    )
+    paper_section = "§3 (cost model), §3.3.2 (read costs)"
+
+    @staticmethod
+    def _in_scope(ctx: FileContext) -> bool:
+        return (
+            ctx.in_package("worm")
+            or ctx.in_package("core")
+            or ctx.in_package("repro", "worm")
+            or ctx.in_package("repro", "core")
+        )
+
+    def check_project(self, project: ProjectContext) -> list[Finding]:
+        scoped = [ctx for ctx in project.files if self._in_scope(ctx)]
+        if not scoped:
+            return []
+        per_module: dict[str, list[_FuncInfo]] = {}
+        for ctx in scoped:
+            per_module[ctx.relpath] = _collect_functions(ctx)
+
+        # Every definition of a primitive name, project wide.
+        prim_defs: dict[str, list[_FuncInfo]] = {name: [] for name in _IO_PRIMITIVES}
+        for infos in per_module.values():
+            for info in infos:
+                short = info.qualname.rsplit(".", 1)[-1]
+                if short in _IO_PRIMITIVES and not info.abstract:
+                    prim_defs[short].append(info)
+
+        # Greatest-fixpoint "charging" computation: assume everything
+        # charges, then strike functions that cannot justify it.  Cyclic
+        # delegation (a mirror's read_block calling its replicas'
+        # read_block) stays charging as long as no definition in the cycle
+        # is genuinely sink-free.
+        charging: dict[int, bool] = {
+            id(info): True for infos in per_module.values() for info in infos
+        }
+        by_name_per_module: dict[str, dict[str, list[_FuncInfo]]] = {}
+        for module, infos in per_module.items():
+            bucket: dict[str, list[_FuncInfo]] = {}
+            for info in infos:
+                bucket.setdefault(info.qualname.rsplit(".", 1)[-1], []).append(info)
+            by_name_per_module[module] = bucket
+
+        def justified(info: _FuncInfo) -> bool:
+            if info.direct_sink:
+                return True
+            local = by_name_per_module[info.module]
+            for callee in info.callees:
+                # Delegating to a primitive name is fine iff every project
+                # definition of that primitive charges.
+                if callee in _IO_PRIMITIVES and prim_defs[callee]:
+                    if all(charging[id(d)] for d in prim_defs[callee]):
+                        return True
+                for target in local.get(callee, []):
+                    if target is not info and charging[id(target)]:
+                        return True
+                # Self-delegation through super().same_name(...) keeps its
+                # own flag (handled by the primitive-name branch above).
+                if callee == info.qualname.rsplit(".", 1)[-1]:
+                    others = [
+                        d
+                        for d in prim_defs.get(callee, [])
+                        if d is not info
+                    ]
+                    if others and all(charging[id(d)] for d in others):
+                        return True
+            return False
+
+        changed = True
+        while changed:
+            changed = False
+            for infos in per_module.values():
+                for info in infos:
+                    if info.abstract:
+                        continue  # interface declarations always "charge"
+                    if charging[id(info)] and not justified(info):
+                        charging[id(info)] = False
+                        changed = True
+
+        findings: list[Finding] = []
+        ctx_by_path = {ctx.relpath: ctx for ctx in scoped}
+
+        # (1) Primitive definitions that never reach the clock.
+        for name, defs in sorted(prim_defs.items()):
+            for info in defs:
+                if not charging[id(info)]:
+                    findings.append(
+                        ctx_by_path[info.module].finding(
+                            self.name,
+                            info.lineno,
+                            f"I/O primitive '{info.qualname}' never reaches "
+                            f"a charge/charge_many/advance_ms call; device "
+                            f"I/O must cost simulated time",
+                        )
+                    )
+
+        # (2) Other functions doing I/O through a primitive name that is
+        # not globally charging, without charging themselves.
+        globally_charging = {
+            name: bool(defs) and all(charging[id(d)] for d in defs)
+            for name, defs in prim_defs.items()
+        }
+        for infos in per_module.values():
+            for info in infos:
+                short = info.qualname.rsplit(".", 1)[-1]
+                if short in _IO_PRIMITIVES or short in _EXEMPT_DEFS:
+                    continue
+                if charging[id(info)]:
+                    continue
+                for name, lineno in info.io_calls:
+                    if prim_defs[name] and not globally_charging[name]:
+                        findings.append(
+                            ctx_by_path[info.module].finding(
+                                self.name,
+                                lineno,
+                                f"'{info.qualname}' performs device I/O via "
+                                f"'{name}' (which has an uncharged "
+                                f"implementation) without charging the cost "
+                                f"model itself",
+                            )
+                        )
+        return findings

@@ -27,7 +27,7 @@ class SimClock:
     (Section 2.1).
     """
 
-    def __init__(self, start_ms: float = 0.0):
+    def __init__(self, start_ms: float = 0.0) -> None:
         self._now_us = int(start_ms * 1000)
         self._last_timestamp = -1
 
@@ -66,7 +66,7 @@ class SkewedClock:
     exercise correctness bounds under skew.
     """
 
-    def __init__(self, master: SimClock, skew_us: int = 0):
+    def __init__(self, master: SimClock, skew_us: int = 0) -> None:
         self.master = master
         self.skew_us = skew_us
         self._last_timestamp = -1

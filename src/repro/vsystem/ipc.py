@@ -28,7 +28,7 @@ class IpcChannel:
         clock: SimClock,
         cost_model: CostModel = SUN3,
         remote: bool = False,
-    ):
+    ) -> None:
         self.clock = clock
         self.cost_model = cost_model
         self.remote = remote
@@ -56,7 +56,7 @@ class AsyncPort:
         clock: SimClock,
         cost_model: CostModel = SUN3,
         enqueue_ms: float = 0.05,
-    ):
+    ) -> None:
         self.clock = clock
         self.cost_model = cost_model
         self.enqueue_ms = enqueue_ms
@@ -73,7 +73,7 @@ class AsyncPort:
 
     def drain(self) -> list[Any]:
         """Execute all queued operations in order; returns their results."""
-        results = []
+        results: list[Any] = []
         while self._queue:
             results.append(self._queue.popleft()())
         return results

@@ -17,9 +17,13 @@ paths in :mod:`repro.core.recovery` can be tested deterministically:
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING
 
-from repro.worm.device import WormDevice
+from repro.worm.device import DeviceStats, WormDevice
 from repro.worm.errors import DeviceCrashed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vsystem.clock import SimClock
 
 __all__ = ["corrupt_block", "corrupt_range", "CrashingWormDevice"]
 
@@ -52,7 +56,7 @@ def corrupt_range(
 ) -> list[int]:
     """Garbage ``count`` consecutive blocks starting at ``first_block``."""
     rng = rng or random.Random(0)
-    corrupted = []
+    corrupted: list[int] = []
     for block in range(first_block, first_block + count):
         corrupt_block(device, block, rng)
         corrupted.append(block)
@@ -77,7 +81,7 @@ class CrashingWormDevice:
         crash_after_writes: int,
         torn: bool = False,
         rng: random.Random | None = None,
-    ):
+    ) -> None:
         if crash_after_writes < 0:
             raise ValueError("crash_after_writes must be >= 0")
         self._inner = inner
@@ -116,11 +120,11 @@ class CrashingWormDevice:
         return self._inner.supports_tail_query
 
     @property
-    def stats(self):
+    def stats(self) -> DeviceStats:
         return self._inner.stats
 
     @property
-    def clock(self):
+    def clock(self) -> "SimClock | None":
         return self._inner.clock
 
     # -- lifecycle ---------------------------------------------------------

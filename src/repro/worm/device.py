@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.worm.errors import (
     BlockOutOfRange,
@@ -34,6 +35,9 @@ from repro.worm.errors import (
     WriteOnceViolation,
 )
 from repro.worm.geometry import NULL_GEOMETRY, DeviceGeometry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vsystem.clock import SimClock
 
 __all__ = ["BlockDevice", "WormDevice", "RewritableDevice", "DeviceStats"]
 
@@ -104,8 +108,8 @@ class BlockDevice(ABC):
         block_size: int,
         capacity_blocks: int,
         geometry: DeviceGeometry = NULL_GEOMETRY,
-        clock=None,
-    ):
+        clock: "SimClock | None" = None,
+    ) -> None:
         if block_size <= 0:
             raise ValueError(f"block_size must be positive, got {block_size}")
         if capacity_blocks <= 0:
@@ -121,7 +125,7 @@ class BlockDevice(ABC):
         #: Optional ``(op, block)`` callback for the event journal
         #: (:mod:`repro.obs.events`); None keeps the hot path a single
         #: attribute check per operation.
-        self.event_sink = None
+        self.event_sink: Callable[[str, int], None] | None = None
 
     # -- timing ----------------------------------------------------------
 
@@ -189,9 +193,9 @@ class WormDevice(BlockDevice):
         block_size: int,
         capacity_blocks: int,
         geometry: DeviceGeometry = NULL_GEOMETRY,
-        clock=None,
+        clock: "SimClock | None" = None,
         supports_tail_query: bool = True,
-    ):
+    ) -> None:
         super().__init__(block_size, capacity_blocks, geometry, clock)
         self._blocks: dict[int, bytes] = {}
         self._invalidated: set[int] = set()
@@ -366,8 +370,8 @@ class RewritableDevice(BlockDevice):
         block_size: int,
         capacity_blocks: int,
         geometry: DeviceGeometry = NULL_GEOMETRY,
-        clock=None,
-    ):
+        clock: "SimClock | None" = None,
+    ) -> None:
         super().__init__(block_size, capacity_blocks, geometry, clock)
         self._blocks: dict[int, bytes] = {}
 

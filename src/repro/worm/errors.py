@@ -19,6 +19,7 @@ __all__ = [
     "CorruptBlockError",
     "InvalidatedBlockError",
     "VolumeFullError",
+    "VolumeOfflineError",
     "VolumeSealedError",
     "VolumeSequenceError",
     "DeviceCrashed",
@@ -39,7 +40,7 @@ class WriteOnceViolation(StorageError):
     models that physical enforcement.
     """
 
-    def __init__(self, block: int, next_writable: int):
+    def __init__(self, block: int, next_writable: int) -> None:
         self.block = block
         self.next_writable = next_writable
         super().__init__(
@@ -51,7 +52,7 @@ class WriteOnceViolation(StorageError):
 class BlockOutOfRange(StorageError):
     """A block address beyond the end of the volume was referenced."""
 
-    def __init__(self, block: int, capacity: int):
+    def __init__(self, block: int, capacity: int) -> None:
         self.block = block
         self.capacity = capacity
         super().__init__(
@@ -66,7 +67,7 @@ class UnwrittenBlockError(StorageError):
     searching for the end of the written portion of a volume.
     """
 
-    def __init__(self, block: int):
+    def __init__(self, block: int) -> None:
         self.block = block
         super().__init__(f"block {block} has never been written")
 
@@ -78,7 +79,7 @@ class CorruptBlockError(StorageError):
     volume to be written with garbage".
     """
 
-    def __init__(self, block: int, detail: str = ""):
+    def __init__(self, block: int, detail: str = "") -> None:
         self.block = block
         suffix = f": {detail}" if detail else ""
         super().__init__(f"block {block} is corrupt{suffix}")
@@ -92,7 +93,7 @@ class InvalidatedBlockError(StorageError):
     surface them distinctly so higher layers can skip rather than abort.
     """
 
-    def __init__(self, block: int):
+    def __init__(self, block: int) -> None:
         self.block = block
         super().__init__(f"block {block} has been invalidated")
 
@@ -100,7 +101,7 @@ class InvalidatedBlockError(StorageError):
 class VolumeFullError(StorageError):
     """An append was attempted on a volume with no unwritten blocks left."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         super().__init__(f"volume full ({capacity} blocks written)")
 
@@ -108,7 +109,7 @@ class VolumeFullError(StorageError):
 class VolumeSealedError(StorageError):
     """An append was attempted on a sealed (read-only successor'd) volume."""
 
-    def __init__(self, volume_id: str):
+    def __init__(self, volume_id: str) -> None:
         self.volume_id = volume_id
         super().__init__(f"volume {volume_id} is sealed; writes must go to its successor")
 
@@ -126,7 +127,7 @@ class VolumeOfflineError(StorageError):
     manual case; the service's demand handler is the automatic one.
     """
 
-    def __init__(self, volume_index: int):
+    def __init__(self, volume_index: int) -> None:
         self.volume_index = volume_index
         super().__init__(
             f"volume {volume_index} is offline; mount it to read this data"

@@ -24,11 +24,15 @@ from __future__ import annotations
 
 import os
 import struct
+from typing import TYPE_CHECKING, Any, BinaryIO
 
 from repro.worm.device import WormDevice
 from repro.worm.errors import StorageError
 from repro.worm.geometry import NULL_GEOMETRY, DeviceGeometry
 from repro.worm.nvram import NvramTail, TailImage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vsystem.clock import SimClock
 
 __all__ = ["FileBackedWormDevice", "FileBackedNvram"]
 
@@ -42,10 +46,16 @@ _STATE_INVALID = 2
 class FileBackedWormDevice(WormDevice):
     """A write-once device persisted to a host file."""
 
-    def __init__(self, path: str, *args, _file=None, **kwargs):
+    def __init__(
+        self,
+        path: str,
+        *args: Any,
+        _file: BinaryIO | None = None,
+        **kwargs: Any,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.path = path
-        self._file = _file
+        self._file: BinaryIO | None = _file
 
     # -- image geometry ------------------------------------------------------
 
@@ -68,7 +78,7 @@ class FileBackedWormDevice(WormDevice):
         block_size: int,
         capacity_blocks: int,
         geometry: DeviceGeometry = NULL_GEOMETRY,
-        clock=None,
+        clock: "SimClock | None" = None,
         supports_tail_query: bool = True,
     ) -> "FileBackedWormDevice":
         if os.path.exists(path):
@@ -94,7 +104,7 @@ class FileBackedWormDevice(WormDevice):
         cls,
         path: str,
         geometry: DeviceGeometry = NULL_GEOMETRY,
-        clock=None,
+        clock: "SimClock | None" = None,
     ) -> "FileBackedWormDevice":
         handle = open(path, "r+b")
         header = handle.read(_HEADER.size)
@@ -118,6 +128,8 @@ class FileBackedWormDevice(WormDevice):
 
     def _load(self) -> None:
         """Populate the in-memory state from the image."""
+        if self._file is None:
+            raise StorageError("device image is closed")
         self._file.seek(self._map_offset)
         states = self._file.read(self.capacity_blocks)
         for block, state in enumerate(states):
@@ -144,10 +156,10 @@ class FileBackedWormDevice(WormDevice):
             self._file.close()
             self._file = None
 
-    def __enter__(self):
+    def __enter__(self) -> "FileBackedWormDevice":
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- persistence hooks ---------------------------------------------------------
@@ -180,7 +192,12 @@ class FileBackedNvram(NvramTail):
     _HEADER = struct.Struct(">8sQI")
     _MAGIC = b"CLIONVR1"
 
-    def __init__(self, path: str, capacity_bytes: int, clock=None):
+    def __init__(
+        self,
+        path: str,
+        capacity_bytes: int,
+        clock: "SimClock | None" = None,
+    ) -> None:
         super().__init__(
             capacity_bytes=capacity_bytes, survives_crash=True, clock=clock
         )

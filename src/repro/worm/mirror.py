@@ -19,13 +19,18 @@ Semantics:
 
 from __future__ import annotations
 
-from repro.worm.device import WormDevice
+from typing import TYPE_CHECKING
+
+from repro.worm.device import DeviceStats, WormDevice
 from repro.worm.errors import (
     CorruptBlockError,
     InvalidatedBlockError,
     StorageError,
     UnwrittenBlockError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vsystem.clock import SimClock
 
 __all__ = ["MirroredWormDevice", "MirrorFailure"]
 
@@ -41,7 +46,7 @@ class MirroredWormDevice:
     volume layer uses.
     """
 
-    def __init__(self, replicas: list[WormDevice]):
+    def __init__(self, replicas: list[WormDevice]) -> None:
         if not replicas:
             raise ValueError("a mirror needs at least one replica")
         first = replicas[0]
@@ -95,11 +100,11 @@ class MirroredWormDevice:
         return self._primary.supports_tail_query
 
     @property
-    def stats(self):
+    def stats(self) -> DeviceStats:
         return self._primary.stats
 
     @property
-    def clock(self):
+    def clock(self) -> "SimClock | None":
         return self._primary.clock
 
     def query_tail(self) -> int:

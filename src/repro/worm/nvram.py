@@ -18,6 +18,10 @@ and a lost one (pure-WORM degradation, where each force burns a block).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vsystem.clock import SimClock
 
 __all__ = ["NvramTail", "TailImage"]
 
@@ -50,9 +54,9 @@ class NvramTail:
         self,
         capacity_bytes: int,
         survives_crash: bool = True,
-        clock=None,
+        clock: "SimClock | None" = None,
         write_cost_ms: float = 0.01,
-    ):
+    ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
         self.capacity_bytes = capacity_bytes

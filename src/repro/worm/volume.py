@@ -115,7 +115,7 @@ class LogVolume:
     blocks ``1 .. capacity-1``.
     """
 
-    def __init__(self, device: WormDevice, header: VolumeHeader):
+    def __init__(self, device: WormDevice, header: VolumeHeader) -> None:
         if device.block_size != header.block_size:
             raise VolumeSequenceError(
                 f"device block size {device.block_size} != header "
@@ -252,7 +252,7 @@ class LogVolume:
         count = min(count, self.data_capacity - start)
         reader = getattr(self.device, "read_blocks", None)
         if reader is not None:
-            return reader(self._device_block(start), count)
+            return list(reader(self._device_block(start), count))
         results: list[bytes | None] = []
         for data_block in range(start, start + count):
             try:
@@ -318,7 +318,7 @@ class VolumeSequence:
     order.
     """
 
-    def __init__(self, sequence_id: bytes | None = None):
+    def __init__(self, sequence_id: bytes | None = None) -> None:
         self.sequence_id = sequence_id or _uuid.uuid4().bytes
         self.volumes: list[LogVolume] = []
         self._bases: list[int] = []

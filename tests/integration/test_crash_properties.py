@@ -137,24 +137,24 @@ class TestPrefixDurability:
             # allow it as an optional final entry of its own file.
             written[inflight[0]].append(inflight[1])
         mounted, _ = LogService.mount([device])
-        # Interleave per-file histories back into global order by replay:
-        # every recovered client entry must appear in the root log in an
-        # order consistent with each file's own order.
-        root_payloads = [
-            e.data
-            for e in mounted.reader.iter_entries(0, start_global=0)
-            if e.logfile_id >= 8
-        ]
-        positions = {name: 0 for name in written}
-        for payload in root_payloads:
-            matched = False
-            for name, history in written.items():
-                i = positions[name]
-                if i < len(history) and history[i] == payload:
-                    positions[name] += 1
-                    matched = True
-                    break
-            assert matched, "recovered an entry that was never written"
+        # Attribute every recovered client entry in the root log to its file
+        # by logfile id (payloads are not unique across files); each file's
+        # subsequence must then be a prefix of that file's append history.
+        ids = {}
+        for name in written:
+            try:
+                ids[mounted.open_log_file(name).logfile_id] = name
+            except Exception:
+                continue  # CREATE lost: no entries can carry its id
+        recovered = {name: [] for name in written}
+        for e in mounted.reader.iter_entries(0, start_global=0):
+            if e.logfile_id < 8:
+                continue  # catalog/entrymap bookkeeping, not client data
+            assert e.logfile_id in ids, "recovered an entry that was never written"
+            recovered[ids[e.logfile_id]].append(e.data)
+        for name, got in recovered.items():
+            history = written[name]
+            assert got == history[: len(got)], name
 
 
 class TestForcedDurability:

@@ -1,0 +1,131 @@
+"""The ``clio lint`` command line: exit codes, output formats, and the
+baseline workflow."""
+
+import json
+import textwrap
+
+from repro.cli import main as clio_main
+from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+CLEAN = """\
+    __all__ = ["answer"]
+
+
+    def answer():
+        return 42
+    """
+
+DIRTY = """\
+    import time
+
+    __all__ = []
+    STARTED = time.time()
+    """
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", CLEAN)
+        assert main(["--root", str(tmp_path), "pkg"]) == EXIT_CLEAN
+        assert "0 finding(s) in 1 file(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", DIRTY)
+        assert main(["--root", str(tmp_path), "pkg"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "[sim-time]" in out
+        assert "pkg/mod.py:4" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path), "nowhere"]) == EXIT_ERROR
+        assert "no such path" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", CLEAN)
+        (tmp_path / ".clio-lint-baseline.json").write_text("[]")
+        assert main(["--root", str(tmp_path), "pkg"]) == EXIT_ERROR
+
+    def test_list_rules_names_all_eight(self, tmp_path, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule in (
+            "sim-time",
+            "worm-encapsulation",
+            "charge-discipline",
+            "bare-except",
+            "mutable-default",
+            "export-hygiene",
+            "nondeterministic-json",
+            "metrics-drift",
+        ):
+            assert rule in out
+
+
+class TestBaselineWorkflow:
+    def test_write_baseline_then_rerun_is_clean(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", DIRTY)
+        argv = ["--root", str(tmp_path), "pkg"]
+        assert main(argv) == EXIT_FINDINGS
+        assert main(argv + ["--write-baseline"]) == EXIT_CLEAN
+        capsys.readouterr()
+
+        assert main(argv) == EXIT_CLEAN
+        assert "baselined" in capsys.readouterr().out
+        # New violations still fail even with the old ones baselined.
+        write(tmp_path, "pkg/new.py", DIRTY)
+        assert main(argv) == EXIT_FINDINGS
+        # --no-baseline reports everything again.
+        assert main(argv + ["--no-baseline"]) == EXIT_FINDINGS
+
+
+class TestOutputFormats:
+    def test_json_document_structure(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", DIRTY)
+        assert main(["--root", str(tmp_path), "pkg", "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["tool"] == "clio-lint"
+        assert document["files_checked"] == 1
+        rules = {f["rule"] for f in document["findings"]}
+        assert "sim-time" in rules
+        for finding in document["findings"]:
+            assert set(finding) == {
+                "rule", "path", "line", "severity", "message", "fingerprint",
+            }
+
+    def test_sarif_document_structure(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", DIRTY)
+        assert main(["--root", str(tmp_path), "pkg", "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        driver = document["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "clio-lint"
+        assert len(driver["rules"]) == 8
+        results = document["runs"][0]["results"]
+        assert results
+        for entry in results:
+            location = entry["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].startswith("pkg/")
+            assert entry["partialFingerprints"]["clioLint/v1"]
+
+    def test_sarif_on_clean_tree_has_empty_results(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", CLEAN)
+        assert main(["--root", str(tmp_path), "pkg", "--format", "sarif"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"][0]["results"] == []
+
+
+class TestClioSubcommand:
+    def test_lint_is_wired_into_the_clio_cli(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", DIRTY)
+        assert clio_main(["lint", "--root", str(tmp_path), "pkg"]) == 1
+        assert "[sim-time]" in capsys.readouterr().out
+        write(tmp_path, "pkg/mod.py", CLEAN)
+        assert clio_main(["lint", "--root", str(tmp_path), "pkg"]) == 0

@@ -1,0 +1,123 @@
+"""Engine behavior: discovery, suppression comments, occurrence
+numbering, parse errors, and baseline round trips."""
+
+import textwrap
+
+from repro.lint.base import Finding
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.engine import PARSE_ERROR_RULE, discover_files, run_lint
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestDiscovery:
+    def test_skips_pycache_and_accepts_explicit_files(self, tmp_path):
+        keep = write(tmp_path, "pkg/mod.py", "X = 1\n")
+        write(tmp_path, "pkg/__pycache__/mod.cpython-311.py", "X = 1\n")
+        assert discover_files([tmp_path]) == [keep.resolve()]
+        assert discover_files([keep]) == [keep.resolve()]
+
+
+class TestSuppression:
+    def test_line_comment_suppresses_one_finding(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+
+            A = time.time()  # clio-lint: disable=sim-time
+            B = time.time()
+            """,
+        )
+        result = run_lint(tmp_path, [tmp_path])
+        sim = [f for f in result.findings if f.rule == "sim-time"]
+        assert [f.line for f in sim] == [4]
+        assert result.suppressed == 1
+
+    def test_file_comment_suppresses_the_whole_file(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            """\
+            # clio-lint: disable-file=sim-time
+            import time
+
+            A = time.time()
+            B = time.time()
+            """,
+        )
+        result = run_lint(tmp_path, [tmp_path])
+        assert [f for f in result.findings if f.rule == "sim-time"] == []
+        assert result.suppressed == 2
+
+    def test_other_rules_still_fire_on_suppressed_lines(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+
+            A = time.time()  # clio-lint: disable=bare-except
+            """,
+        )
+        result = run_lint(tmp_path, [tmp_path])
+        assert [f.rule for f in result.findings if f.line == 3] == ["sim-time"]
+
+
+class TestParseError:
+    def test_unparseable_file_yields_a_parse_error_finding(self, tmp_path):
+        write(tmp_path, "broken.py", "def oops(:\n")
+        result = run_lint(tmp_path, [tmp_path])
+        assert [f.rule for f in result.findings] == [PARSE_ERROR_RULE]
+        assert "does not parse" in result.findings[0].message
+
+
+class TestFingerprints:
+    def test_fingerprint_ignores_line_number(self):
+        a = Finding(rule="r", path="p.py", line=3, message="m", line_text="x = 1")
+        b = Finding(rule="r", path="p.py", line=9, message="m", line_text="x = 1")
+        assert a.fingerprint == b.fingerprint
+
+    def test_repeated_identical_lines_get_distinct_occurrences(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+
+            t = time.time()
+            t = time.time()
+            """,
+        )
+        result = run_lint(tmp_path, [tmp_path])
+        sim = [f for f in result.findings if f.rule == "sim-time"]
+        assert [f.occurrence for f in sim] == [0, 1]
+        assert len({f.fingerprint for f in sim}) == 2
+
+
+class TestBaseline:
+    def test_round_trip_and_missing_file(self, tmp_path):
+        findings = [
+            Finding(rule="r", path="a.py", line=1, message="m", line_text="x"),
+            Finding(rule="r", path="b.py", line=2, message="m", line_text="y"),
+        ]
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        assert load_baseline(path) == {f.fingerprint for f in findings}
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_baseline_file_is_byte_deterministic(self, tmp_path):
+        findings = [
+            Finding(rule="r", path="b.py", line=2, message="m", line_text="y"),
+            Finding(rule="r", path="a.py", line=1, message="m", line_text="x"),
+        ]
+        first, second = tmp_path / "one.json", tmp_path / "two.json"
+        write_baseline(first, findings)
+        write_baseline(second, list(reversed(findings)))
+        assert first.read_bytes() == second.read_bytes()
