@@ -47,7 +47,9 @@ obs-demo:
 		PYTHONPATH=src $(PYTHON) -m repro append /tmp/clio-obs-demo /app "event $$i" || exit 1; \
 	done
 	PYTHONPATH=src $(PYTHON) -m repro stats /tmp/clio-obs-demo --touch /app
-	PYTHONPATH=src $(PYTHON) -m repro trace /tmp/clio-obs-demo --read /app
+	PYTHONPATH=src $(PYTHON) -m repro trace live /tmp/clio-obs-demo --read /app
+	PYTHONPATH=src $(PYTHON) -m repro append /tmp/clio-obs-demo /app "traced event" --trace
+	PYTHONPATH=src $(PYTHON) -m repro trace find /tmp/clio-obs-demo
 
 # Diagnosis walkthrough: build a store, then run the event journal, the
 # cost-attribution profiler, and the SLO health checks over it.

@@ -16,7 +16,7 @@ import pytest
 
 from repro.analysis import entrymap_entries_examined
 
-from _support import EntrymapSim, print_table
+from _support import EntrymapSim, bench_record, print_table
 
 DEGREES = [4, 8, 16, 64]
 DISTANCES = [10, 100, 1_000, 10_000, 100_000]
@@ -43,7 +43,17 @@ def entries_examined(stats) -> int:
 
 @pytest.fixture(scope="module")
 def sims():
-    return {degree: build_sim(degree, max(DISTANCES)) for degree in DEGREES}
+    built = {degree: build_sim(degree, max(DISTANCES)) for degree in DEGREES}
+    bench_record(
+        "fig3",
+        {
+            str(degree): [
+                [d, examined] for d, examined in measured_curve(built[degree])
+            ]
+            for degree in DEGREES
+        },
+    )
+    return built
 
 
 def measured_curve(sim: EntrymapSim) -> list[tuple[int, int]]:

@@ -56,7 +56,7 @@ def curves():
             points.append((blocks, sum(samples) / len(samples)))
         results[degree] = points
     bench_record(
-        "fig4_recovery",
+        "fig4",
         {
             str(degree): [[b, avg] for b, avg in results[degree]]
             for degree in DEGREES

@@ -24,7 +24,13 @@ import os
 
 import pytest
 
-from _support import advance_to_block, make_service, measure_locate_from_tail, print_table
+from _support import (
+    advance_to_block,
+    bench_record,
+    make_service,
+    measure_locate_from_tail,
+    print_table,
+)
 
 N = 16
 KS = [0, 1, 2, 3] + ([4] if os.environ.get("REPRO_TABLE1_FULL") else [])
@@ -60,6 +66,19 @@ def measurements():
             target.append(b"T" * 50)
             advance_to_block(service, filler, distance)
         results[k] = measure_locate_from_tail(service, target.logfile_id)
+    bench_record(
+        "table1",
+        {
+            str(k): {
+                "distance": N**k,
+                "entrymap_entries": results[k]["entrymap_entries"],
+                "block_accesses": results[k]["block_accesses"],
+                "sim_ms": results[k]["sim_ms"],
+            }
+            for k in KS
+        },
+        service,
+    )
     return results
 
 

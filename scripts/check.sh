@@ -12,9 +12,12 @@ PYTHONPATH=src python -m repro lint src/repro
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
 
+echo "== trace determinism =="
+PYTHONPATH=src python scripts/trace_determinism.py
+
 if python -c "import mypy" >/dev/null 2>&1; then
-    echo "== mypy --strict src/repro/worm src/repro/vsystem =="
-    PYTHONPATH=src python -m mypy --strict src/repro/worm src/repro/vsystem
+    echo "== mypy --strict src/repro/worm src/repro/vsystem src/repro/obs =="
+    PYTHONPATH=src python -m mypy --strict src/repro/worm src/repro/vsystem src/repro/obs
 else
     echo "== mypy not installed; skipping type check =="
 fi

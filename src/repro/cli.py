@@ -117,7 +117,7 @@ def _cmd_ls(args) -> int:
 
 
 def _cmd_append(args) -> int:
-    service = _mount(args.store)
+    service = _mount(args.store, observability=args.trace)
     if args.stdin:
         raw = sys.stdin.buffer.read()
         payloads = raw.splitlines() if args.lines else [raw]
@@ -126,6 +126,8 @@ def _cmd_append(args) -> int:
     else:
         print("error: provide DATA or --stdin", file=sys.stderr)
         return 1
+    if args.trace:
+        return _traced_append(service, args.path, payloads)
     if len(payloads) > 1:
         # One server-side group commit for the whole batch: one IPC and
         # timestamp charge, one tail re-encode, instead of per-line costs.
@@ -141,6 +143,46 @@ def _cmd_append(args) -> int:
         f"appended {len(payloads)} entr{'y' if len(payloads) == 1 else 'ies'} "
         f"({total} bytes), last ts={last.timestamp}"
     )
+    return 0
+
+
+def _traced_append(service: LogService, path: str, payloads: list[bytes]) -> int:
+    """Append through the asynchronous client under one causal trace.
+
+    Routes the batch over an :class:`~repro.vsystem.ipc.AsyncPort` with
+    server-side group commit, so the persisted trace shows the full
+    request: the client-side flush, the deferred server delivery, and the
+    post-reply device force (Section 3.3's delayed-write window).  The
+    forced batch is already durable; the trace-log persist performs the
+    invocation's sync.
+    """
+    from repro.core.asyncclient import AsyncLogClient
+    from repro.obs.tracelog import TraceLog
+    from repro.vsystem.clock import SkewedClock
+    from repro.vsystem.ipc import AsyncPort
+
+    trace_log = TraceLog(service)
+    log_file = service.open_log_file(path)
+    port = AsyncPort(service.clock, tracer=service.tracer)
+    client = AsyncLogClient(
+        log_file,
+        port,
+        SkewedClock(service.clock, skew_us=0),
+        batch_size=max(len(payloads), 1),
+        server_batching=True,
+        force_batches=True,
+    )
+    for payload in payloads:
+        client.submit(payload)
+    client.flush()
+    port.drain()
+    trace_log.persist()
+    total = sum(len(p) for p in payloads)
+    print(
+        f"appended {len(payloads)} entr{'y' if len(payloads) == 1 else 'ies'} "
+        f"({total} bytes)"
+    )
+    print(f"trace {client.last_trace_id}")
     return 0
 
 
@@ -304,12 +346,12 @@ def _cmd_stats(args) -> int:
     return 0
 
 
-def _cmd_trace(args) -> int:
+def _cmd_trace_live(args) -> int:
     """Span trees from a traced mount (and optional reads).
 
     All timestamps are simulated time, so the same store produces the same
-    trace on every invocation — diffs between two ``trace`` runs are real
-    behaviour changes, never scheduling noise.
+    trace on every invocation — diffs between two ``trace live`` runs are
+    real behaviour changes, never scheduling noise.
     """
     service = _mount(args.store, read_only=True, observability=True)
     if args.read:
@@ -330,6 +372,89 @@ def _cmd_trace(args) -> int:
     else:
         for span in roots:
             print(format_span_tree(span))
+    return 0
+
+
+def _persisted_traces(store: str):
+    """Mount ``store`` read-only and decode its ``/traces`` sublog, grouped
+    by trace id (each group in append order)."""
+    from repro.obs.tracelog import decode_span
+
+    service = _mount(store, read_only=True)
+    try:
+        log = service.open_log_file("/traces")
+    except Exception:
+        raise SystemExit(
+            "error: this store has no /traces log "
+            "(run `clio append --trace` to record one)"
+        )
+    grouped: dict = {}
+    for entry in log.entries():
+        root = decode_span(entry.data)
+        grouped.setdefault(root.trace_id or "", []).append(root)
+    return grouped
+
+
+def _cmd_trace_show(args) -> int:
+    """One persisted trace: its span forest, or its critical path."""
+    from repro.obs.critical_path import (
+        critical_path,
+        format_critical_path,
+        summarize_trace,
+    )
+    from repro.obs.tracing import format_span_tree
+
+    grouped = _persisted_traces(args.store)
+    roots = grouped.get(args.trace_id)
+    if not roots:
+        print(f"error: no persisted trace {args.trace_id!r}", file=sys.stderr)
+        return 1
+    if args.critical_path:
+        summary = summarize_trace(args.trace_id, roots)
+        print(format_critical_path(summary, critical_path(roots)))
+        return 0
+    if args.format == "json":
+        import json
+
+        print(json.dumps([span.as_dict() for span in roots], indent=2, sort_keys=True))
+        return 0
+    for root in sorted(roots, key=lambda r: (r.start_us, r.span_id)):
+        print(format_span_tree(root))
+    return 0
+
+
+def _cmd_trace_find(args) -> int:
+    """List persisted traces (one summary line each), oldest first."""
+    from repro.obs.critical_path import format_trace_summary, summarize_traces
+
+    summaries = summarize_traces(_persisted_traces(args.store))
+    if args.name:
+        summaries = [s for s in summaries if args.name in s.root_names]
+    if args.errors:
+        summaries = [s for s in summaries if s.error]
+    if not summaries:
+        print("no matching persisted traces")
+        return 0
+    for summary in summaries:
+        print(format_trace_summary(summary))
+    return 0
+
+
+def _cmd_trace_top(args) -> int:
+    """The costliest persisted traces — by duration, or by one component."""
+    from repro.obs.critical_path import (
+        format_trace_summary,
+        summarize_traces,
+        top_traces,
+    )
+
+    summaries = summarize_traces(_persisted_traces(args.store))
+    ranked = top_traces(summaries, count=args.slowest, component=args.component)
+    if not ranked:
+        print("no persisted traces")
+        return 0
+    for summary in ranked:
+        print(format_trace_summary(summary))
     return 0
 
 
@@ -481,6 +606,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --stdin: append each input line as its own entry",
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="append via the async client under one causal trace, persist "
+        "it to /traces, and print the trace id",
+    )
     p.set_defaults(handler=_cmd_append)
 
     p = commands.add_parser("cat", help="print a log file's entries")
@@ -540,18 +671,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_stats)
 
     p = commands.add_parser(
-        "trace", help="sim-time span trees for a mount (and optional reads)"
+        "trace", help="sim-time span trees: live mounts and the /traces log"
     )
-    p.add_argument("store")
-    p.add_argument(
+    trace_commands = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = trace_commands.add_parser(
+        "live", help="trace a fresh mount (and optional reads) in-process"
+    )
+    tp.add_argument("store")
+    tp.add_argument(
         "--read",
         action="append",
         metavar="PATH",
         help="also trace a full read of PATH (repeatable)",
     )
-    p.add_argument("--limit", type=int, default=None, help="show at most N trees")
-    p.add_argument("--format", choices=("tree", "json"), default="tree")
-    p.set_defaults(handler=_cmd_trace)
+    tp.add_argument("--limit", type=int, default=None, help="show at most N trees")
+    tp.add_argument("--format", choices=("tree", "json"), default="tree")
+    tp.set_defaults(handler=_cmd_trace_live)
+
+    tp = trace_commands.add_parser(
+        "show", help="one persisted trace's span forest or critical path"
+    )
+    tp.add_argument("store")
+    tp.add_argument("trace_id")
+    tp.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="print the longest-child path and component accounting",
+    )
+    tp.add_argument("--format", choices=("tree", "json"), default="tree")
+    tp.set_defaults(handler=_cmd_trace_show)
+
+    tp = trace_commands.add_parser(
+        "find", help="list persisted traces, oldest first"
+    )
+    tp.add_argument("store")
+    tp.add_argument("--name", help="only traces containing this root span name")
+    tp.add_argument(
+        "--errors", action="store_true", help="only traces that recorded errors"
+    )
+    tp.set_defaults(handler=_cmd_trace_find)
+
+    tp = trace_commands.add_parser(
+        "top", help="the costliest persisted traces"
+    )
+    tp.add_argument("store")
+    tp.add_argument(
+        "--slowest",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the top N traces (default: 10)",
+    )
+    tp.add_argument(
+        "--component",
+        default=None,
+        metavar="NAME",
+        help="rank by one cost component (e.g. device, ipc) instead of "
+        "total duration",
+    )
+    tp.set_defaults(handler=_cmd_trace_top)
 
     p = commands.add_parser(
         "events", help="structured event journal for a mount"

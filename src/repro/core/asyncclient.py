@@ -27,8 +27,9 @@ from dataclasses import dataclass
 
 from repro.core.ids import ClientEntryId
 from repro.core.logfile import LogFile
+from repro.obs.tracing import TraceContext
 from repro.vsystem.clock import SkewedClock
-from repro.vsystem.ipc import AsyncPort
+from repro.vsystem.ipc import AsyncPort, MessageHeader
 
 __all__ = ["AsyncLogClient", "SequenceWrapError"]
 
@@ -76,6 +77,10 @@ class AsyncLogClient:
         self._wrap_guard_ts: int | None = None
         self.submitted = 0
         self.flushed_batches = 0
+        self._trace_seq = 0
+        #: The trace id of the most recent flush (None when tracing is
+        #: disabled) — how callers correlate a submit with its trace.
+        self.last_trace_id: str | None = None
 
     # -- write path ----------------------------------------------------------
 
@@ -133,7 +138,29 @@ class AsyncLogClient:
                         force=force and last,
                     )
 
-        self.port.send(deliver)
+        tracer = log_file.service.tracer
+        if tracer.enabled:
+            # Mint the request's causal identity deterministically from the
+            # client's clock plus a per-client sequence (never random), and
+            # send it in the message header: the spans the deferred
+            # delivery opens at drain time — after this call returned —
+            # join this trace.
+            self._trace_seq += 1
+            trace_id = f"c{self.client_clock.now_us:x}.{self._trace_seq:x}"
+            self.last_trace_id = trace_id
+            if self.port.tracer is not tracer:
+                self.port.tracer = tracer
+            with tracer.activate(TraceContext(trace_id=trace_id)):
+                with tracer.span(
+                    "client.flush",
+                    entries=len(batch),
+                    batching=self.server_batching,
+                ):
+                    self.port.send(
+                        deliver, header=MessageHeader(context=tracer.context())
+                    )
+        else:
+            self.port.send(deliver)
         self.flushed_batches += 1
         return len(batch)
 

@@ -34,6 +34,11 @@ class LogFile:
     def __repr__(self) -> str:
         return f"LogFile(id={self.logfile_id}, path={self.path!r})"
 
+    @property
+    def service(self) -> "LogService":
+        """The service this handle belongs to."""
+        return self._service
+
     # -- writing -----------------------------------------------------------
 
     def append(

@@ -531,7 +531,7 @@ class LogService:
         start_ms = store.clock.now_ms
         with store.tracer.span(
             "append", logfile_id=logfile_id, bytes=len(data), force=force
-        ):
+        ) as sp:
             self._charge_write(len(data))
             result = self.writer.append(
                 logfile_id,
@@ -542,7 +542,8 @@ class LogService:
             )
         if store.instruments is not None:
             store.instruments.append_latency_ms.observe(
-                store.clock.now_ms - start_ms
+                store.clock.now_ms - start_ms,
+                exemplar=sp.trace_id
             )
         return result
 
@@ -582,7 +583,7 @@ class LogService:
             entries=len(batch),
             bytes=total_bytes,
             force=force,
-        ):
+        ) as sp:
             self._charge_write(total_bytes)
             results = self.writer.append_batch(
                 logfile_id,
@@ -593,7 +594,8 @@ class LogService:
             )
         if store.instruments is not None:
             store.instruments.append_latency_ms.observe(
-                store.clock.now_ms - start_ms
+                store.clock.now_ms - start_ms,
+                exemplar=sp.trace_id,
             )
         return results
 

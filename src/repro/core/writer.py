@@ -519,14 +519,30 @@ class TailWriter:
             block=self._block_addr,
             target="nvram" if self.store.nvram is not None else "burn",
         )
-        if self.store.nvram is not None:
-            global_block = self.store.sequence.to_global(
-                self._volume_index, self._block_addr
-            )
-            self.store.nvram.store(global_block, self._builder.encode())
-        else:
-            # Pure write-once device: burn the partial block.  "Frequent
-            # forced writes can lead to considerable internal fragmentation"
-            # — account the wasted space so benchmarks can show it.
-            self.store.space.forced_padding += max(0, self._builder.free_bytes + 2)
-            self._burn_current()
+        with self.store.tracer.span(
+            "writer.force",
+            volume=self._volume_index,
+            block=self._block_addr,
+            target="nvram" if self.store.nvram is not None else "burn",
+        ):
+            if self.store.nvram is not None:
+                global_block = self.store.sequence.to_global(
+                    self._volume_index, self._block_addr
+                )
+                self.store.nvram.store(global_block, self._builder.encode())
+                if self.store.nvram.clock is not None:
+                    # The NVRAM store advanced the clock itself (the tail
+                    # RAM charges its own write cost); attribute that time
+                    # to the span without advancing again.
+                    self.store.tracer.charge(
+                        "device", self.store.nvram.write_cost_ms
+                    )
+            else:
+                # Pure write-once device: burn the partial block.  "Frequent
+                # forced writes can lead to considerable internal
+                # fragmentation" — account the wasted space so benchmarks
+                # can show it.
+                self.store.space.forced_padding += max(
+                    0, self._builder.free_bytes + 2
+                )
+                self._burn_current()

@@ -1,6 +1,6 @@
 """The default rule set for ``clio lint``.
 
-Eight rules, each protecting an invariant the runtime can only catch late
+Nine rules, each protecting an invariant the runtime can only catch late
 or not at all; see ``docs/LINTING.md`` for the catalog with paper
 references.
 """
@@ -14,7 +14,7 @@ from repro.lint.rules.hygiene import (
     ExportHygieneRule,
     MutableDefaultRule,
 )
-from repro.lint.rules.metrics import MetricsDriftRule
+from repro.lint.rules.metrics import MetricsDriftRule, SpanDriftRule
 from repro.lint.rules.purity import SimTimePurityRule
 from repro.lint.rules.worm import ChargeDisciplineRule, WormEncapsulationRule
 
@@ -29,6 +29,7 @@ __all__ = [
     "ExportHygieneRule",
     "DeterministicJsonRule",
     "MetricsDriftRule",
+    "SpanDriftRule",
 ]
 
 #: Rule classes, in reporting order.
@@ -41,6 +42,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     ExportHygieneRule,
     DeterministicJsonRule,
     MetricsDriftRule,
+    SpanDriftRule,
 )
 
 

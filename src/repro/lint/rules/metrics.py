@@ -1,8 +1,8 @@
-"""Rule: metrics drift (cross-file).
+"""Rules: metrics drift and span drift (cross-file).
 
 ``obs/wiring.py`` is the single place metric families are registered, and
-``docs/OBSERVABILITY.md`` is their contract with humans.  This rule keeps
-three views of the metric namespace synchronized:
+``docs/OBSERVABILITY.md`` is their contract with humans.  The metrics rule
+keeps three views of the metric namespace synchronized:
 
 1. every family registered in ``wiring.py`` is documented in
    ``docs/OBSERVABILITY.md``;
@@ -16,6 +16,12 @@ Registration calls use f-strings inside comprehensions over literal
 tuples (``f"clio_device_{field}_total" for field in ("reads", ...)``);
 the rule expands those statically, so adding a stats field to the
 comprehension without documenting the new metric is a lint error.
+
+The span rule applies the same discipline to the tracing namespace: every
+``tracer.span("...")`` name opened anywhere in the source must be declared
+in the documentation's span-name catalog table, and every declared name
+must still be opened somewhere — spans are an interface (trace consumers
+filter and alert on the names), not free-form strings.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import re
 
 from repro.lint.base import FileContext, Finding, ProjectContext, ProjectRule
 
-__all__ = ["MetricsDriftRule"]
+__all__ = ["MetricsDriftRule", "SpanDriftRule"]
 
 _REGISTRY_METHODS = frozenset({"counter", "gauge", "histogram"})
 _METRIC_RE = re.compile(r"\bclio_[a-z0-9_]*[a-z0-9]\b")
@@ -233,4 +239,95 @@ class MetricsDriftRule(ProjectRule):
                                 f"obs/wiring.py never registers",
                             )
                         )
+        return findings
+
+
+#: The heading (lowercased substring) that opens the span catalog section.
+_SPAN_DOC_HEADING = "span-name catalog"
+#: A catalog table row: ``| `name` | ... |``.
+_SPAN_ROW_RE = re.compile(r"^\|\s*`(?P<name>[A-Za-z_][\w.]*)`\s*\|")
+
+
+class SpanDriftRule(ProjectRule):
+    name = "span-drift"
+    description = (
+        "Every tracer.span(...) name opened in source must be declared in "
+        "docs/OBSERVABILITY.md's span-name catalog, and vice versa."
+    )
+    paper_section = "§3.3/§4.1 (the delayed-write window made visible)"
+
+    def check_project(self, project: ProjectContext) -> list[Finding]:
+        findings: list[Finding] = []
+
+        # ---- 1. collect every span name opened in source --------------- #
+        used: dict[str, tuple[FileContext, ast.Call]] = {}
+        for ctx in project.files:
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute) and func.attr == "span"
+                ):
+                    continue
+                if not node.args:
+                    continue
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    used.setdefault(first.value, (ctx, node))
+                else:
+                    findings.append(
+                        ctx.finding(
+                            self.name,
+                            node,
+                            "span name is not a string literal; names must "
+                            "be statically checkable against the catalog",
+                        )
+                    )
+
+        # ---- 2. collect the declared catalog --------------------------- #
+        doc_path = project.root / _DOC_RELPATH
+        if not doc_path.is_file():
+            return findings
+        doc_lines = doc_path.read_text(encoding="utf-8").splitlines()
+        declared: dict[str, int] = {}
+        in_section = False
+        for number, line in enumerate(doc_lines, start=1):
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                in_section = _SPAN_DOC_HEADING in stripped.lower()
+                continue
+            if in_section:
+                match = _SPAN_ROW_RE.match(stripped)
+                if match:
+                    declared.setdefault(match.group("name"), number)
+
+        # ---- 3. compare both directions -------------------------------- #
+        for span_name in sorted(used):
+            if span_name not in declared:
+                ctx, node = used[span_name]
+                findings.append(
+                    ctx.finding(
+                        self.name,
+                        node,
+                        f"opens span {span_name!r}, which is not declared "
+                        f"in {_DOC_RELPATH}'s span-name catalog",
+                    )
+                )
+        for span_name, doc_line in sorted(declared.items()):
+            if span_name not in used:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=_DOC_RELPATH,
+                        line=doc_line,
+                        message=(
+                            f"{_DOC_RELPATH} declares span {span_name!r} "
+                            f"but no tracer.span() in source opens it"
+                        ),
+                        line_text=doc_lines[doc_line - 1].strip(),
+                    )
+                )
         return findings

@@ -19,6 +19,10 @@ this package exposes those counts from a *live* service uniformly:
 * :mod:`repro.obs.profile` — cost-attribution profiling: folds span trees
   against the :mod:`~repro.vsystem.costs` model for per-operation
   breakdowns (the paper's Section 3 decomposition, live).
+* :mod:`repro.obs.tracelog` — request-scoped causal traces persisted to a
+  ``/traces`` sublog with deterministic head/tail sampling.
+* :mod:`repro.obs.critical_path` — per-trace critical paths and
+  cost-component breakdowns over the persisted trace log.
 
 Enable on a service with ``service.enable_observability()`` (or pass
 ``observability=True`` to ``LogService.create``/``mount``); disabled, the
@@ -32,6 +36,17 @@ from repro.obs.events import (
     EventLog,
     NullJournal,
     format_event,
+)
+from repro.obs.critical_path import (
+    PathStep,
+    TraceSummary,
+    component_breakdown,
+    critical_path,
+    format_critical_path,
+    format_trace_summary,
+    summarize_trace,
+    summarize_traces,
+    top_traces,
 )
 from repro.obs.export import json_snapshot, parse_prometheus_text, prometheus_text
 from repro.obs.profile import (
@@ -62,11 +77,13 @@ from repro.obs.slo import (
     default_ruleset,
     parse_rule,
 )
+from repro.obs.tracelog import TraceLog, decode_span, encode_span
 from repro.obs.tracing import (
     NULL_TRACER,
     NullTracer,
     Span,
     SpanTracer,
+    TraceContext,
     format_span_tree,
 )
 from repro.obs.wiring import Instruments, wire_service
@@ -84,9 +101,22 @@ __all__ = [
     "COUNT_BUCKETS",
     "Span",
     "SpanTracer",
+    "TraceContext",
     "NullTracer",
     "NULL_TRACER",
     "format_span_tree",
+    "TraceLog",
+    "encode_span",
+    "decode_span",
+    "PathStep",
+    "TraceSummary",
+    "component_breakdown",
+    "critical_path",
+    "summarize_trace",
+    "summarize_traces",
+    "top_traces",
+    "format_trace_summary",
+    "format_critical_path",
     "prometheus_text",
     "parse_prometheus_text",
     "json_snapshot",

@@ -25,6 +25,13 @@ import json
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.obs.tracing import ClockLike
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.logfile import LogFile
+    from repro.core.service import LogService
 
 __all__ = [
     "Event",
@@ -46,13 +53,13 @@ class Event:
     #: Sorted (name, value) pairs; values are JSON scalars.
     attrs: tuple[tuple[str, object], ...]
 
-    def attr(self, name: str, default=None):
+    def attr(self, name: str, default: object = None) -> object:
         for key, value in self.attrs:
             if key == name:
                 return value
         return default
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         return {
             "seq": self.seq,
             "ts_us": self.ts_us,
@@ -91,7 +98,7 @@ class EventJournal:
 
     enabled = True
 
-    def __init__(self, clock, capacity: int = 512):
+    def __init__(self, clock: ClockLike, capacity: int = 512) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._clock = clock
@@ -102,7 +109,7 @@ class EventJournal:
         self.dropped = 0
         self._suppressed = 0
 
-    def emit(self, kind: str, **attrs) -> Event | None:
+    def emit(self, kind: str, **attrs: object) -> Event | None:
         """Record one event; returns it (or None while suppressed)."""
         if self._suppressed:
             return None
@@ -119,7 +126,7 @@ class EventJournal:
         return event
 
     @contextmanager
-    def suppress(self):
+    def suppress(self) -> Iterator[None]:
         """Silence emission inside the block.
 
         Used while :class:`EventLog` persists the journal: the persistence
@@ -160,20 +167,20 @@ class NullJournal:
 
     enabled = False
 
-    def emit(self, kind: str, **attrs) -> None:
+    def emit(self, kind: str, **attrs: object) -> None:
         return None
 
     @contextmanager
-    def suppress(self):
+    def suppress(self) -> Iterator[None]:
         yield
 
-    def events(self) -> list:
+    def events(self) -> list[Event]:
         return []
 
-    def recent(self, n: int) -> list:
+    def recent(self, n: int) -> list[Event]:
         return []
 
-    def by_kind(self, kind: str) -> list:
+    def by_kind(self, kind: str) -> list[Event]:
         return []
 
     @property
@@ -196,15 +203,17 @@ class EventLog:
     stamp) and a sync makes each persisted batch durable.
     """
 
-    def __init__(self, service, path: str = "/events"):
+    def __init__(self, service: "LogService", path: str = "/events") -> None:
         self.service = service
         try:
-            self.log = service.open_log_file(path)
+            self.log: "LogFile" = service.open_log_file(path)
         except Exception:
             self.log = service.create_log_file(path)
         self._persisted_seq = -1
 
-    def persist(self, journal=None) -> int:
+    def persist(
+        self, journal: EventJournal | NullJournal | None = None
+    ) -> int:
         """Append every not-yet-persisted journal event; returns the count.
 
         Emission is suppressed while persisting so the device writes the

@@ -11,6 +11,7 @@ attached to benchmark records (``BENCH_*.json``) and printed by
 from __future__ import annotations
 
 import math
+from typing import Any, Iterable
 
 from repro.obs.registry import HistogramValue, MetricFamily, MetricsRegistry
 
@@ -33,7 +34,7 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def _render_labels(labels) -> str:
+def _render_labels(labels: Iterable[tuple[str, str]]) -> str:
     if not labels:
         return ""
     inner = ",".join(
@@ -66,6 +67,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                     f"{family.name}_count{_render_labels(labels)} {value.count}"
                 )
             else:
+                assert isinstance(value, (int, float))
                 lines.append(
                     f"{family.name}{_render_labels(labels)} "
                     f"{_format_value(value)}"
@@ -74,14 +76,14 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
 
 def _parse_labels(text: str) -> tuple[tuple[str, str], ...]:
-    labels = []
+    labels: list[tuple[str, str]] = []
     i = 0
     while i < len(text):
         eq = text.index("=", i)
         name = text[i:eq].strip().lstrip(",").strip()
         assert text[eq + 1] == '"', f"malformed label value in {text!r}"
         j = eq + 2
-        value_chars = []
+        value_chars: list[str] = []
         while text[j] != '"':
             if text[j] == "\\":
                 j += 1
@@ -104,16 +106,16 @@ def _parse_value(text: str) -> float:
     return float(text)
 
 
-def parse_prometheus_text(text: str) -> dict:
+def parse_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
     """Parse exposition text back into ``{name: {help, kind, samples}}``.
 
     ``samples`` maps a sorted label tuple to the sample value; histogram
     series appear under their ``_bucket``/``_sum``/``_count`` names, as on
     the wire.  Exists so tests can assert ``prometheus_text`` round-trips.
     """
-    families: dict[str, dict] = {}
+    families: dict[str, dict[str, Any]] = {}
 
-    def family_for(name: str) -> dict:
+    def family_for(name: str) -> dict[str, Any]:
         return families.setdefault(
             name, {"help": "", "kind": "untyped", "samples": {}}
         )
@@ -150,10 +152,10 @@ def parse_prometheus_text(text: str) -> dict:
     return families
 
 
-def _family_dict(family: MetricFamily) -> dict:
+def _family_dict(family: MetricFamily) -> dict[str, Any]:
     samples = []
     for labels, value in family.samples:
-        sample: dict = {"labels": dict(labels)}
+        sample: dict[str, Any] = {"labels": dict(labels)}
         if isinstance(value, HistogramValue):
             sample["buckets"] = [
                 {
@@ -164,6 +166,16 @@ def _family_dict(family: MetricFamily) -> dict:
             ]
             sample["sum"] = value.sum
             sample["count"] = value.count
+            if value.exemplars:
+                # Trace-id exemplars: which request last landed in each
+                # bucket (the metrics -> trace log bridge).
+                sample["exemplars"] = [
+                    {
+                        "le": ("+Inf" if bound == math.inf else bound),
+                        "trace_id": trace_id,
+                    }
+                    for bound, trace_id in value.exemplars
+                ]
         else:
             sample["value"] = value
         samples.append(sample)
@@ -175,6 +187,6 @@ def _family_dict(family: MetricFamily) -> dict:
     }
 
 
-def json_snapshot(registry: MetricsRegistry) -> dict:
+def json_snapshot(registry: MetricsRegistry) -> dict[str, Any]:
     """A JSON-serializable snapshot of every family in the registry."""
     return {"families": [_family_dict(f) for f in registry.collect()]}

@@ -99,7 +99,7 @@ def format_profile(breakdowns: list[CostBreakdown]) -> str:
     """Render breakdowns as the ``repro profile`` table."""
     if not breakdowns:
         return "no finished spans to profile (is tracing enabled?)"
-    lines = []
+    lines: list[str] = []
     for breakdown in breakdowns:
         lines.append(
             f"{breakdown.operation:<24s} x{breakdown.count:<6d} "

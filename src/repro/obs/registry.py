@@ -19,6 +19,11 @@ Two usage styles coexist:
   copies their values into registry children at collection time, so the
   hot paths pay nothing (see :mod:`repro.obs.wiring`).
 
+Histogram observations may carry an *exemplar* — a trace id linking the
+latency bucket the observation landed in to one concrete request in the
+persisted trace log (:mod:`repro.obs.tracelog`), so "why is this bucket
+populated?" has a one-hop answer: ``clio trace show <id>``.
+
 All values are driven by operation counts and the simulated clock, never
 the host's wall clock, so two identical runs export identical snapshots.
 """
@@ -27,7 +32,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Generic, Iterable, TypeVar
 
 __all__ = [
     "Counter",
@@ -80,11 +85,17 @@ class LabelCardinalityError(MetricError):
 
 @dataclass(frozen=True, slots=True)
 class HistogramValue:
-    """Snapshot of one histogram child: cumulative bucket counts, sum, count."""
+    """Snapshot of one histogram child: cumulative bucket counts, sum, count.
+
+    ``exemplars`` pairs a bucket's upper bound with the trace id of the
+    most recent observation that landed in it (only buckets that received
+    an exemplar appear).
+    """
 
     buckets: tuple[tuple[float, int], ...]  # (upper_bound, cumulative_count)
     sum: float
     count: int
+    exemplars: tuple[tuple[float, str], ...] = ()
 
     def quantile(self, q: float) -> float:
         """Estimate the q-quantile (0 <= q <= 1) by linear interpolation
@@ -163,21 +174,27 @@ class _GaugeChild:
 
 
 class _HistogramChild:
-    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+    __slots__ = ("bounds", "bucket_counts", "sum", "count", "exemplars")
 
     def __init__(self, bounds: tuple[float, ...]) -> None:
         self.bounds = bounds
         self.bucket_counts = [0] * len(bounds)
         self.sum = 0.0
         self.count = 0
+        #: bucket index -> latest exemplar (index len(bounds) is +Inf).
+        self.exemplars: dict[int, str] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         self.sum += value
         self.count += 1
+        bucket = len(self.bounds)  # +Inf overflow
         for i, bound in enumerate(self.bounds):
             if value <= bound:
                 self.bucket_counts[i] += 1
+                bucket = i
                 break
+        if exemplar is not None:
+            self.exemplars[bucket] = exemplar
 
     def snapshot(self) -> HistogramValue:
         cumulative = 0
@@ -186,16 +203,28 @@ class _HistogramChild:
             cumulative += n
             buckets.append((bound, cumulative))
         buckets.append((float("inf"), self.count))
+        exemplars = tuple(
+            (
+                self.bounds[i] if i < len(self.bounds) else float("inf"),
+                self.exemplars[i],
+            )
+            for i in sorted(self.exemplars)
+        )
         return HistogramValue(
-            buckets=tuple(buckets), sum=self.sum, count=self.count
+            buckets=tuple(buckets),
+            sum=self.sum,
+            count=self.count,
+            exemplars=exemplars,
         )
 
 
-class _Metric:
+_Child = TypeVar("_Child", _CounterChild, _GaugeChild, _HistogramChild)
+
+
+class _Metric(Generic[_Child]):
     """Shared machinery for the three metric kinds."""
 
     kind = "untyped"
-    _child_factory: Callable[[], object]
 
     def __init__(
         self,
@@ -215,16 +244,16 @@ class _Metric:
         self.help = help
         self.labelnames = tuple(labelnames)
         self.max_label_sets = max_label_sets
-        self._children: dict[tuple[str, ...], object] = {}
+        self._children: dict[tuple[str, ...], _Child] = {}
         if not self.labelnames:
             # Label-less metrics have exactly one child, created eagerly so
             # the family appears in exports even before the first increment.
             self._children[()] = self._make_child()
 
-    def _make_child(self):
+    def _make_child(self) -> _Child:
         raise NotImplementedError
 
-    def labels(self, **labels: str):
+    def labels(self, **labels: str) -> _Child:
         """The child instrument for one label set (created on first use)."""
         if set(labels) != set(self.labelnames):
             raise MetricError(
@@ -244,7 +273,7 @@ class _Metric:
         return child
 
     @property
-    def _default(self):
+    def _default(self) -> _Child:
         if self.labelnames:
             raise MetricError(
                 f"metric {self.name!r} has labels {self.labelnames!r}; "
@@ -252,18 +281,20 @@ class _Metric:
             )
         return self._children[()]
 
-    def _collect_samples(self):
-        samples = []
+    def _collect_samples(
+        self,
+    ) -> tuple[tuple[tuple[tuple[str, str], ...], object], ...]:
+        samples: list[tuple[tuple[tuple[str, str], ...], object]] = []
         for key in sorted(self._children):
             labels = tuple(zip(self.labelnames, key))
             samples.append((labels, self._child_value(self._children[key])))
         return tuple(samples)
 
-    def _child_value(self, child):
-        return child.value
+    def _child_value(self, child: _Child) -> object:
+        raise NotImplementedError
 
 
-class Counter(_Metric):
+class Counter(_Metric[_CounterChild]):
     """A monotonically increasing count (operation totals)."""
 
     kind = "counter"
@@ -281,8 +312,11 @@ class Counter(_Metric):
     def value(self) -> float:
         return self._default.value
 
+    def _child_value(self, child: _CounterChild) -> object:
+        return child.value
 
-class Gauge(_Metric):
+
+class Gauge(_Metric[_GaugeChild]):
     """A value that can go up and down (resident blocks, sim-clock time)."""
 
     kind = "gauge"
@@ -303,8 +337,11 @@ class Gauge(_Metric):
     def value(self) -> float:
         return self._default.value
 
+    def _child_value(self, child: _GaugeChild) -> object:
+        return child.value
 
-class Histogram(_Metric):
+
+class Histogram(_Metric[_HistogramChild]):
     """A distribution over fixed buckets (latencies, batch sizes)."""
 
     kind = "histogram"
@@ -328,48 +365,61 @@ class Histogram(_Metric):
     def _make_child(self) -> _HistogramChild:
         return _HistogramChild(self.buckets)
 
-    def observe(self, value: float) -> None:
-        self._default.observe(value)
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation, optionally tagged with a trace id."""
+        self._default.observe(value, exemplar=exemplar)
 
     def quantile(self, q: float) -> float:
         """The q-quantile of the (label-less) histogram's snapshot."""
         return self._default.snapshot().quantile(q)
 
-    def _child_value(self, child: _HistogramChild) -> HistogramValue:
+    def _child_value(self, child: _HistogramChild) -> object:
         return child.snapshot()
+
+
+_AnyMetric = (
+    _Metric[_CounterChild] | _Metric[_GaugeChild] | _Metric[_HistogramChild]
+)
 
 
 class MetricsRegistry:
     """A named collection of metric families plus pull-time samplers."""
 
     def __init__(self) -> None:
-        self._metrics: dict[str, _Metric] = {}
+        self._metrics: dict[str, _AnyMetric] = {}
         self._samplers: list[Callable[["MetricsRegistry"], None]] = []
 
     # -- registration ----------------------------------------------------
 
-    def _register(self, cls, name: str, help: str, **kwargs) -> _Metric:
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if type(existing) is not cls:
-                raise MetricError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, cannot re-register as {cls.kind}"
-                )
-            return existing
-        metric = cls(name, help, **kwargs)
-        self._metrics[name] = metric
-        return metric
-
     def counter(
         self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
     ) -> Counter:
-        return self._register(Counter, name, help, labelnames=labelnames)
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Counter):
+                raise MetricError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, cannot re-register as counter"
+                )
+            return existing
+        metric = Counter(name, help, labelnames=labelnames)
+        self._metrics[name] = metric
+        return metric
 
     def gauge(
         self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
     ) -> Gauge:
-        return self._register(Gauge, name, help, labelnames=labelnames)
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Gauge):
+                raise MetricError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, cannot re-register as gauge"
+                )
+            return existing
+        metric = Gauge(name, help, labelnames=labelnames)
+        self._metrics[name] = metric
+        return metric
 
     def histogram(
         self,
@@ -378,9 +428,17 @@ class MetricsRegistry:
         labelnames: tuple[str, ...] = (),
         buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS,
     ) -> Histogram:
-        return self._register(
-            Histogram, name, help, labelnames=labelnames, buckets=buckets
-        )
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise MetricError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, cannot re-register as histogram"
+                )
+            return existing
+        metric = Histogram(name, help, labelnames=labelnames, buckets=buckets)
+        self._metrics[name] = metric
+        return metric
 
     def register_sampler(
         self, sampler: Callable[["MetricsRegistry"], None]
@@ -395,7 +453,7 @@ class MetricsRegistry:
 
     # -- introspection ---------------------------------------------------
 
-    def get(self, name: str) -> _Metric | None:
+    def get(self, name: str) -> _AnyMetric | None:
         return self._metrics.get(name)
 
     def names(self) -> list[str]:

@@ -27,6 +27,13 @@ import json
 import math
 import re
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.obs.registry import HistogramValue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.logfile import LogFile
+    from repro.core.service import LogService
 
 __all__ = [
     "Alert",
@@ -43,7 +50,7 @@ __all__ = [
     "metric_value",
 ]
 
-_OPS = {
+_OPS: dict[str, Callable[[float, float], bool]] = {
     ">": lambda a, b: a > b,
     ">=": lambda a, b: a >= b,
     "<": lambda a, b: a < b,
@@ -62,7 +69,7 @@ class Alert:
     bound: float
     message: str
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         return {
             "rule": self.rule,
             "ts_us": self.ts_us,
@@ -107,7 +114,7 @@ _METRIC_RE = re.compile(
 )
 
 
-def metric_value(service, spec: str) -> float:
+def metric_value(service: "LogService", spec: str) -> float:
     """Resolve ``name`` or ``name{label=value,...}`` against the service's
     registry (samplers run, so the value is current).
 
@@ -131,8 +138,9 @@ def metric_value(service, spec: str) -> float:
             continue
         for labels, value in family.samples:
             if all(dict(labels).get(k) == v for k, v in want.items()):
-                if family.kind == "histogram":
+                if isinstance(value, HistogramValue):
                     return value.sum / value.count if value.count else 0.0
+                assert isinstance(value, (int, float))
                 return float(value)
     return 0.0
 
@@ -158,7 +166,7 @@ class ThresholdRule:
         bound: float,
         severity: str = "warning",
         guard: str | None = None,
-    ):
+    ) -> None:
         if op not in _OPS:
             raise ValueError(f"unknown operator {op!r}")
         self.name = name
@@ -168,7 +176,7 @@ class ThresholdRule:
         self.severity = severity
         self.guard = guard
 
-    def check(self, service) -> tuple[bool, float, float, str]:
+    def check(self, service: "LogService") -> tuple[bool, float, float, str]:
         value = metric_value(service, self.metric)
         if self.guard is not None and metric_value(service, self.guard) <= 0:
             return False, value, self.bound, f"{self.metric} (guarded)"
@@ -190,7 +198,7 @@ class RatioRule:
         op: str,
         bound: float,
         severity: str = "warning",
-    ):
+    ) -> None:
         if op not in _OPS:
             raise ValueError(f"unknown operator {op!r}")
         self.name = name
@@ -200,7 +208,7 @@ class RatioRule:
         self.bound = float(bound)
         self.severity = severity
 
-    def check(self, service) -> tuple[bool, float, float, str]:
+    def check(self, service: "LogService") -> tuple[bool, float, float, str]:
         denominator = metric_value(service, self.denominator)
         value = (
             metric_value(service, self.numerator) / denominator
@@ -227,12 +235,12 @@ class ModelDeltaRule:
     def __init__(
         self,
         name: str,
-        observed,
-        model,
+        observed: Callable[["LogService"], float],
+        model: Callable[["LogService"], float],
         tolerance: float = 1.0,
         severity: str = "critical",
         describe: str = "observed cost vs model bound",
-    ):
+    ) -> None:
         self.name = name
         self.observed = observed
         self.model = model
@@ -240,7 +248,7 @@ class ModelDeltaRule:
         self.severity = severity
         self.describe = describe
 
-    def check(self, service) -> tuple[bool, float, float, str]:
+    def check(self, service: "LogService") -> tuple[bool, float, float, str]:
         value = float(self.observed(service))
         bound = self.tolerance * float(self.model(service))
         return value > bound, value, bound, self.describe
@@ -251,12 +259,12 @@ class ModelDeltaRule:
 # --------------------------------------------------------------------- #
 
 
-def _recovery_observed(service) -> float:
+def _recovery_observed(service: "LogService") -> float:
     report = service.last_recovery_report
     return float(report.total_blocks_examined) if report is not None else 0.0
 
 
-def _recovery_bound(service) -> float:
+def _recovery_bound(service: "LogService") -> float:
     """Worst case over the mounted sequence: Σ N·log_N(b) per volume, with
     b taken from what the recovery pass actually saw (the last opened
     block — which includes a recovered NVRAM tail, unlike the burned
@@ -294,7 +302,7 @@ def recovery_model_rule(
     )
 
 
-def _locate_observed(service) -> float:
+def _locate_observed(service: "LogService") -> float:
     instruments = service.store.instruments
     if instruments is None:
         return 0.0
@@ -306,7 +314,7 @@ def _locate_observed(service) -> float:
     return total / count if count else 0.0
 
 
-def _locate_bound(service) -> float:
+def _locate_bound(service: "LogService") -> float:
     """2·log_N(d) − 1 with d = the whole written extent (the worst
     distance any single locate in this log could cover)."""
     extent = service.reader.global_extent()
@@ -331,7 +339,7 @@ def locate_model_rule(
     )
 
 
-def default_ruleset() -> list:
+def default_ruleset() -> list["ThresholdRule | RatioRule | ModelDeltaRule"]:
     """The stock health checks ``repro health`` runs."""
     return [
         recovery_model_rule(),
@@ -376,7 +384,7 @@ _RULE_RE = re.compile(
 )
 
 
-def parse_rule(spec: str):
+def parse_rule(spec: str) -> "ThresholdRule | RatioRule":
     """Parse one rule from its text form.
 
     Grammar::
@@ -423,7 +431,12 @@ class SloEngine:
     attached, persisted to the alert sublog immediately.
     """
 
-    def __init__(self, service, rules=None, alert_log=None):
+    def __init__(
+        self,
+        service: "LogService",
+        rules: "Iterable[ThresholdRule | RatioRule | ModelDeltaRule] | None" = None,
+        alert_log: "AlertLog | None" = None,
+    ) -> None:
         self.service = service
         self.rules = list(rules) if rules is not None else default_ruleset()
         self.alert_log = alert_log
@@ -477,14 +490,14 @@ class SloEngine:
 class AlertLog:
     """The append-only ``/alerts`` sublog: every fired alert, durable."""
 
-    def __init__(self, service, path: str = "/alerts"):
+    def __init__(self, service: "LogService", path: str = "/alerts") -> None:
         self.service = service
         try:
-            self.log = service.open_log_file(path)
+            self.log: "LogFile" = service.open_log_file(path)
         except Exception:
             self.log = service.create_log_file(path)
 
-    def persist(self, alerts) -> int:
+    def persist(self, alerts: list[Alert]) -> int:
         journal = self.service.store.journal
         with journal.suppress():
             for alert in alerts:

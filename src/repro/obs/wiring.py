@@ -54,7 +54,7 @@ class Instruments:
         "locate_entries_examined",
     )
 
-    def __init__(self, registry: MetricsRegistry):
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.append_latency_ms = registry.histogram(
             "clio_append_latency_ms",
             "Simulated end-to-end latency of one append operation "

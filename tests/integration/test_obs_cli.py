@@ -67,19 +67,21 @@ class TestStatsCommand:
         assert "clio_recovery_blocks_scanned_total" in names
 
 
-class TestTraceCommand:
+class TestTraceLiveCommand:
     def test_mount_recovery_span_rendered(self, store, capsys):
-        out = run(capsys, "trace", store)
+        out = run(capsys, "trace", "live", store)
         assert "recovery" in out
         assert "recovery.rebuild_entrymap" in out
         assert "us]" in out  # sim-time stamps, not wall time
 
     def test_read_span_with_entry_count(self, store, capsys):
-        out = run(capsys, "trace", store, "--read", "/app")
+        out = run(capsys, "trace", "live", store, "--read", "/app")
         assert "read entries=8 path=/app" in out
 
     def test_json_format_is_span_dicts(self, store, capsys):
-        out = run(capsys, "trace", store, "--read", "/app", "--format", "json")
+        out = run(
+            capsys, "trace", "live", store, "--read", "/app", "--format", "json"
+        )
         roots = json.loads(out)
         names = [root["name"] for root in roots]
         assert "recovery" in names and "read" in names
@@ -88,15 +90,80 @@ class TestTraceCommand:
         assert read["end_us"] >= read["start_us"]
 
     def test_limit(self, store, capsys):
-        out = run(capsys, "trace", store, "--read", "/app", "--limit", "1")
+        out = run(capsys, "trace", "live", store, "--read", "/app", "--limit", "1")
         # Only the most recent root (the read) survives the limit.
         assert "read entries=8" in out
         assert "recovery.find_tail" not in out
 
     def test_trace_is_deterministic_across_runs(self, store, capsys):
-        first = run(capsys, "trace", store, "--read", "/app")
-        second = run(capsys, "trace", store, "--read", "/app")
+        first = run(capsys, "trace", "live", store, "--read", "/app")
+        second = run(capsys, "trace", "live", store, "--read", "/app")
         assert first == second
+
+
+class TestTracedAppend:
+    def traced_append(self, capsys, store, data="traced payload"):
+        capsys.readouterr()
+        assert main(["append", store, "/app", data, "--trace"]) == 0
+        out = capsys.readouterr().out
+        trace_line = [l for l in out.splitlines() if l.startswith("trace ")]
+        assert len(trace_line) == 1
+        return trace_line[0].split()[1]
+
+    def test_append_prints_trace_id(self, store, capsys):
+        trace_id = self.traced_append(capsys, store)
+        assert trace_id.startswith("c")
+
+    def test_one_trace_spans_client_server_and_force(self, store, capsys):
+        """The acceptance walkthrough: one `clio append --trace` yields ONE
+        trace id whose persisted forest holds the client-side IPC span, the
+        server-side group commit, and the post-reply device force."""
+        trace_id = self.traced_append(capsys, store)
+        out = run(capsys, "trace", "show", store, trace_id)
+        assert "client.flush" in out
+        assert "append_many" in out
+        assert "writer.force" in out
+
+    def test_critical_path_components_cover_duration(self, store, capsys):
+        trace_id = self.traced_append(capsys, store)
+        out = run(capsys, "trace", "show", store, trace_id, "--critical-path")
+        assert "components:" in out
+        summary = [l for l in out.splitlines() if l.startswith("attributed")]
+        assert len(summary) == 1
+        percent = float(summary[0].rsplit("(", 1)[1].split("%")[0])
+        assert abs(percent - 100.0) <= 1.0
+
+    def test_show_json_forest_shares_trace_id(self, store, capsys):
+        trace_id = self.traced_append(capsys, store)
+        out = run(
+            capsys, "trace", "show", store, trace_id, "--format", "json"
+        )
+        roots = json.loads(out)
+        assert len(roots) >= 2  # client-side root + deferred delivery root
+        assert {root["trace_id"] for root in roots} == {trace_id}
+        flush = next(r for r in roots if r["name"] == "client.flush")
+        deferred = [r for r in roots if r["name"] != "client.flush"]
+        assert all(r["parent_id"] == flush["span_id"] for r in deferred)
+
+    def test_find_and_top_list_persisted_traces(self, store, capsys):
+        first = self.traced_append(capsys, store, "one")
+        second = self.traced_append(capsys, store, "two")
+        out = run(capsys, "trace", "find", store)
+        assert first in out and second in out
+        out = run(capsys, "trace", "find", store, "--name", "client.flush")
+        assert first in out
+        out = run(capsys, "trace", "top", store, "--slowest", "1")
+        assert len([l for l in out.splitlines() if l.strip()]) == 1
+        out = run(capsys, "trace", "top", store, "--component", "ipc")
+        assert "ipc=" in out
+
+    def test_show_unknown_trace_id_fails(self, store, capsys):
+        self.traced_append(capsys, store)
+        assert main(["trace", "show", store, "nope"]) == 1
+
+    def test_store_without_traces_log_errors(self, store, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "find", store])
 
 
 class TestStatsQuantiles:

@@ -53,7 +53,7 @@ class TestExitCodes:
         (tmp_path / ".clio-lint-baseline.json").write_text("[]")
         assert main(["--root", str(tmp_path), "pkg"]) == EXIT_ERROR
 
-    def test_list_rules_names_all_eight(self, tmp_path, capsys):
+    def test_list_rules_names_all_nine(self, tmp_path, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
         for rule in (
@@ -65,6 +65,7 @@ class TestExitCodes:
             "export-hygiene",
             "nondeterministic-json",
             "metrics-drift",
+            "span-drift",
         ):
             assert rule in out
 
@@ -107,7 +108,7 @@ class TestOutputFormats:
         assert document["version"] == "2.1.0"
         driver = document["runs"][0]["tool"]["driver"]
         assert driver["name"] == "clio-lint"
-        assert len(driver["rules"]) == 8
+        assert len(driver["rules"]) == 9
         results = document["runs"][0]["results"]
         assert results
         for entry in results:

@@ -471,3 +471,100 @@ class TestMetricsDrift:
         )
         assert len(findings) == 1
         assert "not statically analyzable" in findings[0].message
+
+
+_SPAN_SRC_OK = """\
+    def append(self, data):
+        with self.tracer.span("append", size=len(data)):
+            pass
+
+    def force(self):
+        with self.tracer.span("writer.force"):
+            pass
+    """
+
+_SPAN_DOC_OK = """\
+    # Observability
+
+    ### Span-name catalog
+
+    | Span | Opened by |
+    |---|---|
+    | `append` | the service |
+    | `writer.force` | the writer |
+
+    ### Next section
+
+    | `unrelated.table` | rows outside the catalog are ignored |
+    """
+
+
+class TestSpanDrift:
+    def write_doc(self, tmp_path, text):
+        path = tmp_path / "docs" / "OBSERVABILITY.md"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+
+    def test_synchronized_catalog_is_clean(self, tmp_path):
+        self.write_doc(tmp_path, _SPAN_DOC_OK)
+        findings = lint(
+            tmp_path, {"core/service.py": _SPAN_SRC_OK}, "span-drift"
+        )
+        assert findings == []
+
+    def test_opened_but_undeclared_is_flagged(self, tmp_path):
+        self.write_doc(tmp_path, _SPAN_DOC_OK)
+        findings = lint(
+            tmp_path,
+            {
+                "core/service.py": _SPAN_SRC_OK.replace(
+                    '"append"', '"append.sneaky"'
+                )
+            },
+            "span-drift",
+        )
+        messages = "\n".join(f.message for f in findings)
+        assert "'append.sneaky'" in messages
+        assert "not declared" in messages
+        # The catalog's now-stale `append` row is the mirror error.
+        assert "'append'" in messages
+
+    def test_declared_but_never_opened_is_flagged(self, tmp_path):
+        self.write_doc(
+            tmp_path, _SPAN_DOC_OK.replace(
+                "| `append` | the service |",
+                "| `append` | the service |\n| `ghost.span` | nobody |",
+            )
+        )
+        findings = lint(
+            tmp_path, {"core/service.py": _SPAN_SRC_OK}, "span-drift"
+        )
+        assert len(findings) == 1
+        assert "'ghost.span'" in findings[0].message
+        assert findings[0].path == "docs/OBSERVABILITY.md"
+
+    def test_rows_outside_catalog_section_are_ignored(self, tmp_path):
+        # `unrelated.table` sits under "Next section", not the catalog, so
+        # it is neither declared nor required to be opened.
+        self.write_doc(tmp_path, _SPAN_DOC_OK)
+        findings = lint(
+            tmp_path, {"core/service.py": _SPAN_SRC_OK}, "span-drift"
+        )
+        assert findings == []
+
+    def test_non_literal_span_name_is_flagged(self, tmp_path):
+        self.write_doc(tmp_path, _SPAN_DOC_OK)
+        findings = lint(
+            tmp_path,
+            {
+                "core/service.py": _SPAN_SRC_OK + """\
+
+    def dynamic(self, name):
+        with self.tracer.span(name):
+            pass
+    """
+            },
+            "span-drift",
+        )
+        assert len(findings) == 1
+        assert "not a string literal" in findings[0].message

@@ -1,0 +1,195 @@
+"""Tests for per-trace critical paths and cost-component breakdowns —
+including the acceptance bar: a traced request's component costs must
+account for its busy sim time to within 1%."""
+
+import pytest
+
+from repro.core import LogService
+from repro.core.asyncclient import AsyncLogClient
+from repro.obs import (
+    PathStep,
+    Span,
+    component_breakdown,
+    critical_path,
+    format_critical_path,
+    format_trace_summary,
+    summarize_trace,
+    summarize_traces,
+    top_traces,
+)
+from repro.vsystem.clock import SkewedClock
+from repro.vsystem.ipc import AsyncPort
+
+
+def span(name, start, end, *, span_id=1, costs=None, children=(), error=False):
+    s = Span(name, start, trace_id="t", span_id=span_id)
+    s.end_us = end
+    if costs:
+        s.costs = dict(costs)
+    s.children.extend(children)
+    if error:
+        s.attributes["error"] = "RuntimeError"
+    return s
+
+
+def two_root_trace():
+    """A client root plus a deferred delivery 100us later (the gap)."""
+    flush = span(
+        "client.flush", 0, 300, span_id=1, costs={"ipc": 0.3},
+    )
+    force = span(
+        "writer.force", 500, 540, span_id=4, costs={"device": 0.04},
+    )
+    deliver = span(
+        "append_many",
+        400,
+        600,
+        span_id=3,
+        costs={"write_fixed": 0.16},
+        children=[force],
+    )
+    return [flush, deliver]
+
+
+class TestComponentBreakdown:
+    def test_sums_over_the_whole_forest(self):
+        roots = two_root_trace()
+        breakdown = component_breakdown(roots)
+        assert breakdown == pytest.approx(
+            {"ipc": 0.3, "write_fixed": 0.16, "device": 0.04}
+        )
+
+    def test_uncharged_spans_contribute_nothing(self):
+        assert component_breakdown([span("read", 0, 10)]) == {}
+
+
+class TestCriticalPath:
+    def test_descends_into_the_longest_child(self):
+        fast = span("cache.fill", 0, 10, span_id=2)
+        slow = span(
+            "device.io", 10, 90, span_id=3, costs={"device": 0.08}
+        )
+        root = span("read", 0, 100, span_id=1, children=[fast, slow])
+        steps = critical_path([root])
+        assert [(s.name, s.depth) for s in steps] == [
+            ("read", 0), ("device.io", 1),
+        ]
+        assert steps[0].self_us == 100 - 10 - 80
+        assert steps[1].dominant_component == "device"
+
+    def test_multi_root_path_in_causal_order(self):
+        steps = critical_path(two_root_trace())
+        assert [s.name for s in steps] == [
+            "client.flush", "append_many", "writer.force",
+        ]
+        assert all(isinstance(s, PathStep) for s in steps)
+
+    def test_dominant_component_tie_breaks_by_name(self):
+        tied = span("append", 0, 10, costs={"copy": 1.0, "device": 1.0})
+        (step,) = critical_path([tied])
+        assert step.dominant_component == "copy"
+
+
+class TestTraceSummary:
+    def test_busy_idle_and_components(self):
+        summary = summarize_trace("t", two_root_trace())
+        assert summary.duration_us == 300 + 200
+        assert summary.idle_us == 600 - 0 - 500  # the delayed-write gap
+        assert summary.root_names == ("client.flush", "append_many")
+        assert summary.span_count == 3
+        assert [c for c, _ in summary.components] == [
+            "ipc", "write_fixed", "device",
+        ]
+        assert summary.attributed_ms == pytest.approx(0.5)
+        assert summary.coverage == pytest.approx(1.0)
+        assert not summary.error
+
+    def test_error_anywhere_flags_the_trace(self):
+        failing = span("append", 0, 10, error=True)
+        assert summarize_trace("t", [failing]).error
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trace("t", [])
+
+    def test_summaries_sorted_oldest_first(self):
+        late = span("read", 900, 950)
+        early = span("append", 0, 100)
+        summaries = summarize_traces({"late": [late], "early": [early]})
+        assert [s.trace_id for s in summaries] == ["early", "late"]
+
+
+class TestTopTraces:
+    def make_summaries(self):
+        slow = span("append", 0, 1000, costs={"write_fixed": 0.9})
+        io_heavy = span("read", 100, 600, costs={"device": 0.45})
+        quick = span("locate", 200, 250, costs={"entrymap": 0.05})
+        return summarize_traces(
+            {"slow": [slow], "io": [io_heavy], "quick": [quick]}
+        )
+
+    def test_slowest_by_total_duration(self):
+        top = top_traces(self.make_summaries(), count=2)
+        assert [s.trace_id for s in top] == ["slow", "io"]
+
+    def test_by_component_cost(self):
+        top = top_traces(self.make_summaries(), count=3, component="device")
+        assert top[0].trace_id == "io"
+        # Traces without the component sort after, deterministically.
+        assert [s.trace_id for s in top[1:]] == ["slow", "quick"]
+
+    def test_count_zero_is_empty(self):
+        assert top_traces(self.make_summaries(), count=0) == []
+
+
+class TestFormatting:
+    def test_summary_line_is_compact(self):
+        line = format_trace_summary(summarize_trace("t", two_root_trace()))
+        assert line.startswith("t  roots=2 spans=3 busy=0.500ms idle=0.100ms")
+        assert "ipc=0.300ms" in line
+
+    def test_critical_path_report_shows_coverage(self):
+        summary = summarize_trace("t", two_root_trace())
+        text = format_critical_path(summary, critical_path(two_root_trace()))
+        assert "delayed-write gap 0.100ms" in text
+        assert "components:" in text
+        assert "(100.0% coverage)" in text
+
+
+class TestAcceptanceBar:
+    """Per-trace attributed component costs equal busy sim time within 1%."""
+
+    def run_traced_request(self):
+        service = LogService.create(observability=True)
+        app = service.create_log_file("/app")
+        port = AsyncPort(service.clock, tracer=service.tracer)
+        client = AsyncLogClient(
+            app,
+            port,
+            SkewedClock(service.clock, skew_us=0),
+            batch_size=8,
+            server_batching=True,
+            force_batches=True,
+        )
+        for i in range(5):
+            client.submit(b"payload %d" % i)
+        client.flush()
+        service.clock.advance_ms(3.0)  # the delayed-write window
+        port.drain()
+        trace_id = client.last_trace_id
+        roots = [
+            root
+            for root in service.tracer.recent()
+            if root.trace_id == trace_id
+        ]
+        return summarize_trace(trace_id, roots)
+
+    def test_components_account_for_busy_time_within_1_percent(self):
+        summary = self.run_traced_request()
+        assert summary.duration_us > 0
+        assert abs(summary.coverage - 1.0) <= 0.01
+
+    def test_delayed_write_gap_is_visible(self):
+        summary = self.run_traced_request()
+        assert summary.idle_us >= 3000
+        assert len(summary.root_names) >= 2

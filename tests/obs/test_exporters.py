@@ -142,3 +142,34 @@ class TestMultiLabelRoundTrip:
         reg = self.build_multi_label_registry()
         text = prometheus_text(reg)
         assert parse_prometheus_text(text) == parse_prometheus_text(text)
+
+
+class TestExemplars:
+    def test_json_snapshot_surfaces_bucket_exemplars(self):
+        reg = MetricsRegistry()
+        lat = reg.histogram("clio_append_ms", buckets=(1, 5))
+        lat.observe(0.5, exemplar="c10.1")
+        lat.observe(99.0, exemplar="c20.2")
+        (family,) = json_snapshot(reg)["families"]
+        (sample,) = family["samples"]
+        assert sample["exemplars"] == [
+            {"le": 1, "trace_id": "c10.1"},
+            {"le": "+Inf", "trace_id": "c20.2"},
+        ]
+
+    def test_prometheus_text_unchanged_by_exemplars(self):
+        with_exemplars = MetricsRegistry()
+        without = MetricsRegistry()
+        for reg, exemplar in ((with_exemplars, "c10.1"), (without, None)):
+            h = reg.histogram("clio_append_ms", buckets=(1, 5))
+            h.observe(0.5, exemplar=exemplar)
+        # The text exposition round-trips losslessly, so exemplars stay
+        # out of it entirely.
+        assert prometheus_text(with_exemplars) == prometheus_text(without)
+
+    def test_histogram_without_exemplars_omits_the_key(self):
+        reg = MetricsRegistry()
+        reg.histogram("clio_append_ms", buckets=(1,)).observe(0.5)
+        (family,) = json_snapshot(reg)["families"]
+        (sample,) = family["samples"]
+        assert "exemplars" not in sample

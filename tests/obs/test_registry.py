@@ -215,3 +215,31 @@ class TestQuantile:
         h = self.make_histogram([0.3, 0.9, 1.1, 2.5, 3.9, 7.5, 9.0])
         quantiles = [h.quantile(q / 20) for q in range(21)]
         assert quantiles == sorted(quantiles)
+
+
+class TestExemplars:
+    def test_observe_records_latest_exemplar_per_bucket(self):
+        h = Histogram("h", "", buckets=(1, 4, 16))
+        h.observe(0.5, exemplar="c10.1")
+        h.observe(0.7, exemplar="c20.2")  # same bucket: latest wins
+        h.observe(8.0, exemplar="c30.3")
+        h.observe(99.0, exemplar="c40.4")  # +Inf bucket
+        snapshot = h._default.snapshot()
+        assert snapshot.exemplars == (
+            (1.0, "c20.2"),
+            (16.0, "c30.3"),
+            (float("inf"), "c40.4"),
+        )
+
+    def test_observations_without_exemplars_leave_none(self):
+        h = Histogram("h", "", buckets=(1, 4))
+        h.observe(0.5)
+        h.observe(2.0)
+        assert h._default.snapshot().exemplars == ()
+
+    def test_labelled_children_keep_their_own_exemplars(self):
+        h = Histogram("h", "", labelnames=("kind",), buckets=(1,))
+        h.labels(kind="read").observe(0.5, exemplar="c1.1")
+        h.labels(kind="write").observe(0.5, exemplar="c2.2")
+        assert h.labels(kind="read").snapshot().exemplars == ((1.0, "c1.1"),)
+        assert h.labels(kind="write").snapshot().exemplars == ((1.0, "c2.2"),)

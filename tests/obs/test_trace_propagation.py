@@ -1,0 +1,147 @@
+"""Context propagation across the IPC boundary: one request, one trace.
+
+The tentpole property: a single async append yields ONE trace id whose
+forest contains the client-side flush span, the server-side append spans,
+and the post-reply device force — the Section 3.3 delayed-write window
+recorded as causally attached spans instead of unrelated trees."""
+
+from repro.core import LogService
+from repro.core.asyncclient import AsyncLogClient
+from repro.obs import SpanTracer
+from repro.vsystem.clock import SimClock, SkewedClock
+from repro.vsystem.ipc import AsyncPort, IpcChannel, MessageHeader
+
+
+def make_service():
+    return LogService.create(
+        block_size=512,
+        degree_n=4,
+        volume_capacity_blocks=2048,
+        observability=True,
+    )
+
+
+def make_traced_client(service, log, batch_size=8):
+    port = AsyncPort(service.clock, tracer=service.tracer)
+    client = AsyncLogClient(
+        log,
+        port,
+        SkewedClock(service.clock, skew_us=0),
+        batch_size=batch_size,
+        server_batching=True,
+        force_batches=True,
+    )
+    return client, port
+
+
+class TestIpcHeaderPropagation:
+    def test_channel_call_joins_the_senders_trace(self):
+        clock = SimClock()
+        tracer = SpanTracer(clock)
+        channel = IpcChannel(clock, tracer=tracer)
+
+        def server_work():
+            with tracer.span("append"):
+                pass
+
+        with tracer.span("client.flush") as flush:
+            channel.call(
+                server_work,
+                header=MessageHeader(context=tracer.context()),
+            )
+        # The server span ran while the client span was still open, so it
+        # nests under it directly — same trace, parent link intact.
+        (server_span,) = flush.children
+        assert server_span.trace_id == flush.trace_id
+        assert server_span.parent_id == flush.span_id
+        assert flush.costs is not None and flush.costs["ipc"] > 0
+
+    def test_deferred_drain_attaches_to_the_sending_span(self):
+        clock = SimClock()
+        tracer = SpanTracer(clock)
+        port = AsyncPort(clock, tracer=tracer)
+
+        def server_work():
+            with tracer.span("append"):
+                pass
+
+        with tracer.span("client.flush") as flush:
+            port.send(
+                server_work,
+                header=MessageHeader(context=tracer.context()),
+            )
+        # The reply already happened; the delivery runs later.
+        clock.advance_ms(10.0)
+        port.drain()
+        deferred = tracer.last("append")
+        assert deferred is not None
+        assert deferred.trace_id == flush.trace_id
+        assert deferred.parent_id == flush.span_id
+        assert deferred.start_us >= flush.end_us + 10_000
+
+    def test_headerless_messages_stay_untraced(self):
+        clock = SimClock()
+        tracer = SpanTracer(clock)
+        port = AsyncPort(clock, tracer=tracer)
+        port.send(lambda: None)
+        port.drain()
+        with tracer.span("read") as sp:
+            pass
+        assert sp.trace_id.startswith("s")  # minted, not inherited
+
+
+class TestEndToEndRequestTrace:
+    def run_request(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        service.tracer.clear()
+        client, port = make_traced_client(service, log)
+        for i in range(3):
+            client.submit(b"entry %d" % i)
+        client.flush()
+        service.clock.advance_ms(5.0)  # the delayed-write window
+        port.drain()
+        trace_id = client.last_trace_id
+        roots = [
+            r for r in service.tracer.recent() if r.trace_id == trace_id
+        ]
+        return service, trace_id, roots
+
+    def test_one_request_one_trace_id(self):
+        service, trace_id, roots = self.run_request()
+        assert trace_id.startswith("c")
+        names = [r.name for r in roots]
+        assert names[0] == "client.flush"
+        assert len(roots) >= 2
+        # Every other root of this trace is untraced work that minted its
+        # own id — none may share the request's id accidentally.
+        others = [
+            r for r in service.tracer.recent() if r.trace_id != trace_id
+        ]
+        assert all(r.trace_id.startswith("s") for r in others)
+
+    def test_forest_contains_client_server_and_force_spans(self):
+        _service, _trace_id, roots = self.run_request()
+        names = {s.name for r in roots for s in r.walk()}
+        assert "client.flush" in names
+        assert "append_many" in names
+        assert "writer.force" in names  # the post-reply device force
+
+    def test_deferred_roots_parent_link_to_the_flush_span(self):
+        _service, _trace_id, roots = self.run_request()
+        flush = roots[0]
+        for deferred in roots[1:]:
+            assert deferred.parent_id == flush.span_id
+            assert deferred.start_us >= flush.end_us + 5_000
+
+    def test_distinct_requests_get_distinct_trace_ids(self):
+        service = make_service()
+        log = service.create_log_file("/app")
+        client, port = make_traced_client(service, log)
+        seen = set()
+        for i in range(3):
+            client.submit(b"entry %d" % i)
+            client.flush()
+            port.drain()
+            seen.add(client.last_trace_id)
+        assert len(seen) == 3

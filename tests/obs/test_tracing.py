@@ -2,7 +2,7 @@
 span-tree/counter cross-check for one append plus one cold read."""
 
 from repro.core import LogService
-from repro.obs import NULL_TRACER, SpanTracer, format_span_tree
+from repro.obs import NULL_TRACER, Span, SpanTracer, TraceContext, format_span_tree
 
 
 class FakeClock:
@@ -92,6 +92,151 @@ class TestSpanTracer:
             assert again is span  # one shared object, nothing recorded
         assert NULL_TRACER.recent() == []
         assert NULL_TRACER.last("append") is None
+
+
+class TestCausalIdentity:
+    def test_roots_mint_deterministic_trace_ids(self):
+        clock = FakeClock()
+        clock.now_us = 0x20
+        tracer = SpanTracer(clock)
+        with tracer.span("append") as first:
+            pass
+        clock.tick(0x10)
+        with tracer.span("read") as second:
+            pass
+        assert first.trace_id == "s20.1"
+        assert second.trace_id == "s30.2"
+        assert (first.span_id, first.parent_id) == (1, None)
+
+    def test_children_share_trace_id_with_parent_links(self):
+        tracer = SpanTracer(FakeClock())
+        with tracer.span("append") as outer:
+            with tracer.span("device.io") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert inner.span_id != outer.span_id
+
+    def test_activate_adopts_context_for_new_roots(self):
+        tracer = SpanTracer(FakeClock())
+        with tracer.activate(TraceContext("c99.1", span_id=7)):
+            with tracer.span("append_many") as adopted:
+                pass
+        assert adopted.trace_id == "c99.1"
+        assert adopted.parent_id == 7
+        # span_id=0 means "no sending span": same trace, no parent link.
+        with tracer.activate(TraceContext("c99.2")):
+            with tracer.span("append") as orphan:
+                pass
+        assert (orphan.trace_id, orphan.parent_id) == ("c99.2", None)
+        # Outside activate, roots go back to minting their own ids.
+        with tracer.span("read") as fresh:
+            pass
+        assert fresh.trace_id.startswith("s")
+
+    def test_activate_none_is_a_no_op(self):
+        tracer = SpanTracer(FakeClock())
+        with tracer.activate(None):
+            assert tracer.context() is None
+            with tracer.span("read") as sp:
+                pass
+        assert sp.trace_id.startswith("s")
+
+    def test_context_reports_innermost_open_span(self):
+        tracer = SpanTracer(FakeClock())
+        assert tracer.context() is None
+        with tracer.span("append") as sp:
+            assert tracer.context() == TraceContext(sp.trace_id, sp.span_id)
+            with tracer.span("device.io") as inner:
+                assert tracer.context() == TraceContext(
+                    inner.trace_id, inner.span_id
+                )
+        assert tracer.context() is None
+
+    def test_suppress_disables_spans_and_charges(self):
+        tracer = SpanTracer(FakeClock())
+        with tracer.span("append") as outer:
+            with tracer.suppress():
+                with tracer.span("device.io") as inner:
+                    inner.set("ignored", 1)
+                tracer.charge("device", 1.0)
+        assert outer.children == []
+        assert outer.costs is None
+        assert inner.trace_id is None  # the shared inert span
+        assert tracer.recent() == [outer]
+
+    def test_on_finish_sees_roots_only(self):
+        tracer = SpanTracer(FakeClock())
+        finished = []
+        tracer.on_finish = finished.append
+        with tracer.span("append"):
+            with tracer.span("device.io"):
+                pass
+        with tracer.span("read"):
+            pass
+        assert [span.name for span in finished] == ["append", "read"]
+
+    def test_charge_outside_any_span_is_dropped(self):
+        tracer = SpanTracer(FakeClock())
+        tracer.charge("device", 1.0)  # nothing open; must not raise
+        assert tracer.recent() == []
+
+    def test_span_dict_round_trip_preserves_identity(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock)
+        with tracer.span("append", logfile_id=7) as sp:
+            clock.tick(100)
+            tracer.charge("device", 1.5)
+            with tracer.span("device.io", op="write"):
+                clock.tick(50)
+        rebuilt = Span.from_dict(sp.as_dict())
+        assert rebuilt.as_dict() == sp.as_dict()
+        assert rebuilt.trace_id == sp.trace_id
+        assert rebuilt.children[0].parent_id == sp.span_id
+        assert rebuilt.costs == {"device": 1.5}
+
+
+class TestNullTracerParity:
+    def drive(self, tracer):
+        """The full tracer surface, as instrumentation points exercise it."""
+        with tracer.activate(TraceContext("t", 1)):
+            with tracer.span("append", k=1) as sp:
+                sp.set("x", 2)
+                sp.add_cost("device", 1.0)
+                tracer.charge("ipc", 0.5)
+        with tracer.suppress():
+            with tracer.span("read"):
+                pass
+        tracer.mint_trace_id()
+        tracer.clear()
+        return (tracer.recent(), tracer.last(), tracer.context())
+
+    def test_same_call_sequence_observable_parity(self):
+        assert self.drive(SpanTracer(FakeClock())) == ([], None, None)
+        assert self.drive(NULL_TRACER) == ([], None, None)
+
+    def test_null_tracer_identities_are_inert(self):
+        assert NULL_TRACER.mint_trace_id() == "s0.0"
+        span = NULL_TRACER.span("append")
+        assert span.trace_id is None
+        assert span.span_id == 0
+        assert span.parent_id is None
+
+
+class TestFormatSpanTree:
+    def test_unfinished_span_renders_unknown_duration(self):
+        span = Span("append", 10)
+        text = format_span_tree(span)
+        assert "+?us" in text
+        assert "[10us" in text
+
+    def test_max_roots_eviction_keeps_newest(self):
+        tracer = SpanTracer(FakeClock(), max_roots=3)
+        for i in range(7):
+            with tracer.span(f"op{i}"):
+                pass
+        assert [s.name for s in tracer.recent()] == ["op4", "op5", "op6"]
+        assert tracer.last("op0") is None
 
 
 def make_service(**kwargs):
