@@ -15,6 +15,12 @@ PYTHONPATH=src python -m pytest -x -q
 echo "== trace determinism =="
 PYTHONPATH=src python scripts/trace_determinism.py
 
+echo "== perf smoke (wall-clock harness + determinism + baseline gate) =="
+PYTHONPATH=src python -m repro perf run --profile smoke \
+    --check-determinism --out /tmp/clio_perf_smoke.json
+PYTHONPATH=src python -m repro perf compare /tmp/clio_perf_smoke.json \
+    --baseline benchmarks/baselines/wallclock_baseline.json
+
 if python -c "import mypy" >/dev/null 2>&1; then
     echo "== mypy --strict src/repro/worm src/repro/vsystem src/repro/obs =="
     PYTHONPATH=src python -m mypy --strict src/repro/worm src/repro/vsystem src/repro/obs

@@ -333,10 +333,12 @@ def _cmd_stats(args) -> int:
         print(f"--- sim t={service.now_ms:.3f}ms (replay complete) ---")
         _render_stats_table(service)
         return 0
-    from repro.obs.export import json_snapshot, prometheus_text
+    from repro.obs.export import json_snapshot, openmetrics_text, prometheus_text
 
     if args.format == "prometheus":
         sys.stdout.write(prometheus_text(service.metrics))
+    elif args.format == "openmetrics":
+        sys.stdout.write(openmetrics_text(service.metrics))
     elif args.format == "json":
         import json
 
@@ -567,6 +569,97 @@ def _cmd_lint(args) -> int:
     return lint_run(args)
 
 
+def _cmd_perf_run(args) -> int:
+    """Run the wall-clock harness (see docs/PERFORMANCE.md for the
+    methodology).  Real time comes from one PerfWallClock constructed
+    here and injected down — the purity rule's whole point."""
+    import json
+    import tempfile
+
+    from repro.obs import perfbench
+    from repro.obs.wallclock import PerfWallClock
+
+    if args.profile not in perfbench.PROFILES:
+        print(f"error: unknown profile {args.profile!r}", file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory(prefix="clio-perf-") as workdir:
+        if args.check_determinism:
+            ok, detail = perfbench.check_determinism(
+                args.profile, workdir, PerfWallClock()
+            )
+            print(f"determinism: {detail}")
+            if not ok:
+                return 2
+            report = perfbench.run_profile(
+                args.profile,
+                os.path.join(workdir, "report"),
+                PerfWallClock(),
+            )
+        else:
+            report = perfbench.run_profile(
+                args.profile, workdir, PerfWallClock()
+            )
+    record = perfbench.report_to_dict(report)
+    print(perfbench.format_report(record))
+    if report.coverage < 0.95:
+        print(
+            f"warning: wall attribution covers only "
+            f"{report.coverage:.1%} of harness wall time (< 95%)",
+            file=sys.stderr,
+        )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        print(f"(wrote {args.out})")
+    recorded = perfbench.maybe_record(record)
+    if recorded:
+        print(f"(recorded {recorded})")
+    return 0
+
+
+def _cmd_perf_report(args) -> int:
+    import json
+
+    from repro.obs import perfbench
+
+    with open(args.file) as handle:
+        record = json.load(handle)
+    print(perfbench.format_report(record))
+    return 0
+
+
+def _cmd_perf_compare(args) -> int:
+    """The CI gate: non-zero exit on a deterministic count regression."""
+    import json
+
+    from repro.obs import perfbench
+
+    with open(args.current) as handle:
+        current = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    failures, advisories = perfbench.compare_reports(
+        current, baseline, threshold=args.threshold
+    )
+    for line in advisories:
+        print(f"advisory: {line}")
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    if failures:
+        print(
+            f"{len(failures)} count regression(s) beyond "
+            f"{args.threshold:.0%} of baseline",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"ok: counts within {args.threshold:.0%} of baseline "
+        f"({len(advisories)} advisory note(s))"
+    )
+    return 0
+
+
 # ---------------------------------------------------------------------- #
 # Argument parsing
 # ---------------------------------------------------------------------- #
@@ -649,9 +742,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("store")
     p.add_argument(
         "--format",
-        choices=("table", "prometheus", "json"),
+        choices=("table", "prometheus", "openmetrics", "json"),
         default="table",
-        help="output format (default: table)",
+        help="output format (default: table; openmetrics adds histogram "
+        "exemplars and the # EOF terminator)",
     )
     p.add_argument(
         "--touch",
@@ -804,6 +898,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(p)
     p.set_defaults(handler=_cmd_lint)
+
+    p = commands.add_parser(
+        "perf",
+        help="wall-clock benchmarks: run, report, compare (CI gate)",
+    )
+    perf_commands = p.add_subparsers(dest="perf_command", required=True)
+
+    pp = perf_commands.add_parser(
+        "run", help="run the wall-clock harness on a throwaway store"
+    )
+    pp.add_argument(
+        "--profile",
+        default="smoke",
+        help="workload size: smoke (CI) or full (default: smoke)",
+    )
+    pp.add_argument(
+        "--out", metavar="FILE", help="also write the JSON record to FILE"
+    )
+    pp.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="first prove sim counters are byte-identical with and "
+        "without wall instrumentation (exit 2 if not)",
+    )
+    pp.set_defaults(handler=_cmd_perf_run)
+
+    pp = perf_commands.add_parser(
+        "report", help="render a recorded perf JSON file"
+    )
+    pp.add_argument("file")
+    pp.set_defaults(handler=_cmd_perf_report)
+
+    pp = perf_commands.add_parser(
+        "compare",
+        help="gate a perf record against a baseline: non-zero exit on "
+        "deterministic count regressions; rate changes are advisory",
+    )
+    pp.add_argument("current")
+    pp.add_argument("--baseline", required=True)
+    pp.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="relative regression tolerance (default: 0.30)",
+    )
+    pp.set_defaults(handler=_cmd_perf_compare)
 
     return parser
 

@@ -20,6 +20,7 @@ Lifecycle:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cache import BlockCache
 from repro.core.catalog import Catalog
@@ -49,6 +50,9 @@ from repro.worm.device import WormDevice
 from repro.worm.errors import StorageError
 from repro.worm.nvram import NvramTail
 from repro.worm.volume import LogVolume, VolumeSequence
+
+if TYPE_CHECKING:
+    from repro.obs.wallclock import WallClock
 
 __all__ = ["LogService", "CrashRemains", "ReadOnlyService", "ServiceCrashed"]
 
@@ -197,6 +201,7 @@ class LogService:
         read_only: bool = False,
         observability: bool = False,
         readahead_blocks: int = 0,
+        wall_clock: "WallClock | None" = None,
     ) -> tuple["LogService", RecoveryReport]:
         """Mount surviving media after a crash (or cold start) and run the
         three-step recovery of Section 2.3.1 / 3.4.
@@ -205,7 +210,9 @@ class LogService:
         shelf): every mutating operation raises :class:`ReadOnlyService`,
         and corruption found while reading is reported but not repaired.
         ``observability=True`` enables metrics and tracing *before* the
-        recovery pass runs, so the mount itself produces a span tree.
+        recovery pass runs, so the mount itself produces a span tree;
+        ``wall_clock`` additionally makes those recovery spans dual-clock
+        (the ``clio perf`` harness measures recovery blocks/sec with it).
         """
         if not devices:
             raise ValueError("mount requires at least one device")
@@ -245,7 +252,7 @@ class LogService:
         service = cls(store, writer)
         service._read_only = read_only
         if observability:
-            service.enable_observability()
+            service.enable_observability(wall_clock=wall_clock)
         report = service._recover()
         return service, report
 
@@ -805,7 +812,12 @@ class LogService:
     # ------------------------------------------------------------------ #
 
     def enable_observability(
-        self, *, tracing: bool = True, registry=None, events: bool = True
+        self,
+        *,
+        tracing: bool = True,
+        registry=None,
+        events: bool = True,
+        wall_clock: "WallClock | None" = None,
     ):
         """Attach a metrics registry (and, by default, a span tracer and an
         event journal).
@@ -813,7 +825,10 @@ class LogService:
         Idempotent; safe to call on a running service — the registry's
         samplers read the live stats objects, so counters reflect the full
         history, while histograms, traces and events start from this call.
-        Returns the registry.
+        ``wall_clock`` (a :class:`~repro.obs.wallclock.WallClock`) makes the
+        tracer dual-clock: spans carry real nanoseconds beside simulated
+        time.  Simulated results are unaffected — the clock is only read
+        into span annotations.  Returns the registry.
         """
         from repro.obs.events import EventJournal
         from repro.obs.registry import MetricsRegistry
@@ -825,7 +840,7 @@ class LogService:
             store.metrics = registry if registry is not None else MetricsRegistry()
             store.instruments = wire_service(self)
         if tracing and not store.tracer.enabled:
-            store.tracer = SpanTracer(store.clock)
+            store.tracer = SpanTracer(store.clock, wall_clock=wall_clock)
         if events and not store.journal.enabled:
             journal = EventJournal(store.clock)
             store.journal = journal

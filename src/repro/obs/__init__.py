@@ -23,6 +23,12 @@ this package exposes those counts from a *live* service uniformly:
   ``/traces`` sublog with deterministic head/tail sampling.
 * :mod:`repro.obs.critical_path` — per-trace critical paths and
   cost-component breakdowns over the persisted trace log.
+* :mod:`repro.obs.wallclock` — the sanctioned (lint-allowlisted) wall
+  clock boundary: ``WallClock`` implementations injected into tracers
+  and the perf harness, never read ambiently.
+* :mod:`repro.obs.perfbench` — the ``clio perf`` wall-clock benchmark
+  harness (deterministic workload, median-of-N rates, per-component
+  wall attribution, CI regression gate).
 
 Enable on a service with ``service.enable_observability()`` (or pass
 ``observability=True`` to ``LogService.create``/``mount``); disabled, the
@@ -48,13 +54,23 @@ from repro.obs.critical_path import (
     summarize_traces,
     top_traces,
 )
-from repro.obs.export import json_snapshot, parse_prometheus_text, prometheus_text
+from repro.obs.export import (
+    json_snapshot,
+    openmetrics_text,
+    parse_openmetrics_text,
+    parse_prometheus_text,
+    prometheus_text,
+)
 from repro.obs.profile import (
     CostBreakdown,
     format_profile,
+    format_wall_attribution,
     profile_roots,
     profile_span,
+    total_wall_ns,
+    wall_attribution,
 )
+from repro.obs.wallclock import FakeWallClock, PerfWallClock, WallClock
 from repro.obs.registry import (
     COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -119,7 +135,12 @@ __all__ = [
     "format_critical_path",
     "prometheus_text",
     "parse_prometheus_text",
+    "openmetrics_text",
+    "parse_openmetrics_text",
     "json_snapshot",
+    "WallClock",
+    "PerfWallClock",
+    "FakeWallClock",
     "Instruments",
     "wire_service",
     "Event",
@@ -140,4 +161,7 @@ __all__ = [
     "profile_span",
     "profile_roots",
     "format_profile",
+    "wall_attribution",
+    "total_wall_ns",
+    "format_wall_attribution",
 ]

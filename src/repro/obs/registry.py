@@ -87,15 +87,16 @@ class LabelCardinalityError(MetricError):
 class HistogramValue:
     """Snapshot of one histogram child: cumulative bucket counts, sum, count.
 
-    ``exemplars`` pairs a bucket's upper bound with the trace id of the
-    most recent observation that landed in it (only buckets that received
-    an exemplar appear).
+    ``exemplars`` carries, per bucket that received one, the bucket's
+    upper bound, the trace id of the most recent observation that landed
+    in it, and that observation's value — everything the OpenMetrics
+    exemplar syntax (``# {trace_id="..."} value``) needs.
     """
 
     buckets: tuple[tuple[float, int], ...]  # (upper_bound, cumulative_count)
     sum: float
     count: int
-    exemplars: tuple[tuple[float, str], ...] = ()
+    exemplars: tuple[tuple[float, str, float], ...] = ()
 
     def quantile(self, q: float) -> float:
         """Estimate the q-quantile (0 <= q <= 1) by linear interpolation
@@ -181,8 +182,9 @@ class _HistogramChild:
         self.bucket_counts = [0] * len(bounds)
         self.sum = 0.0
         self.count = 0
-        #: bucket index -> latest exemplar (index len(bounds) is +Inf).
-        self.exemplars: dict[int, str] = {}
+        #: bucket index -> latest (trace id, observed value) exemplar
+        #: (index len(bounds) is +Inf).
+        self.exemplars: dict[int, tuple[str, float]] = {}
 
     def observe(self, value: float, exemplar: str | None = None) -> None:
         self.sum += value
@@ -194,7 +196,7 @@ class _HistogramChild:
                 bucket = i
                 break
         if exemplar is not None:
-            self.exemplars[bucket] = exemplar
+            self.exemplars[bucket] = (exemplar, value)
 
     def snapshot(self) -> HistogramValue:
         cumulative = 0
@@ -206,7 +208,8 @@ class _HistogramChild:
         exemplars = tuple(
             (
                 self.bounds[i] if i < len(self.bounds) else float("inf"),
-                self.exemplars[i],
+                self.exemplars[i][0],
+                self.exemplars[i][1],
             )
             for i in sorted(self.exemplars)
         )

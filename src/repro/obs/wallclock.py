@@ -1,0 +1,92 @@
+"""The sanctioned wall-clock boundary: real time, injected, never ambient.
+
+Every simulated number in the reproduction comes from the
+:class:`~repro.vsystem.clock.SimClock`; the sim-time-purity lint rule
+(:mod:`repro.lint.rules.purity`) forbids host-clock reads everywhere else.
+But the ROADMAP's "as fast as the hardware allows" needs a *wall-clock*
+story too — appends per second, scan MB/s — and those measurements must
+come from somewhere.  This module is that somewhere: the **only** module
+outside ``vsystem/clock.py`` allowed to read the host clock (the purity
+rule carries an explicit allowlist entry for it, enforced by fixture
+tests).
+
+The discipline is injection, not ambience: code that wants wall time
+takes a :class:`WallClock` parameter and is handed either
+
+* :class:`PerfWallClock` — the real monotonic clock
+  (``time.perf_counter_ns``), used by the ``clio perf`` harness and the
+  wall-clock benches; or
+* :class:`FakeWallClock` — a deterministic stand-in that advances by a
+  fixed step per read, so every test of the wall-clock plumbing is
+  reproducible down to the nanosecond.
+
+Core modules never read wall time themselves — a service with no wall
+clock injected is exactly as sim-pure as before this module existed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["WallClock", "PerfWallClock", "FakeWallClock"]
+
+
+class WallClock(Protocol):
+    """The one method wall-clock consumers may call.
+
+    Implementations must be monotonic (never go backward) so interval
+    math (``end - start``) is always non-negative.
+    """
+
+    def now_ns(self) -> int:
+        """The current wall-clock reading in integer nanoseconds."""
+        ...
+
+
+class PerfWallClock:
+    """The real monotonic host clock (``time.perf_counter_ns``).
+
+    The only production implementation; constructing one is the explicit
+    opt-in to wall-clock measurement.  The reading is relative to an
+    arbitrary origin — only differences are meaningful, exactly like
+    ``perf_counter_ns`` itself.
+    """
+
+    __slots__ = ()
+
+    def now_ns(self) -> int:
+        return time.perf_counter_ns()
+
+
+class FakeWallClock:
+    """A deterministic wall clock for tests: each read advances a counter.
+
+    ``FakeWallClock(step_ns=1000)`` returns 0, 1000, 2000, ... — so code
+    under test that brackets a region with two reads always measures
+    exactly ``step_ns`` (plus ``step_ns`` per intervening read), and two
+    identical runs measure identically.  ``advance(ns)`` injects extra
+    elapsed time between reads to script specific durations.
+    """
+
+    __slots__ = ("_now_ns", "step_ns", "reads")
+
+    def __init__(self, start_ns: int = 0, step_ns: int = 1000) -> None:
+        if step_ns < 0:
+            raise ValueError(f"step_ns must be >= 0, got {step_ns}")
+        self._now_ns = start_ns
+        self.step_ns = step_ns
+        #: Total reads served (a cheap assertion surface for tests).
+        self.reads = 0
+
+    def now_ns(self) -> int:
+        value = self._now_ns
+        self._now_ns += self.step_ns
+        self.reads += 1
+        return value
+
+    def advance(self, ns: int) -> None:
+        """Inject ``ns`` nanoseconds of elapsed time before the next read."""
+        if ns < 0:
+            raise ValueError(f"cannot advance backward ({ns}ns)")
+        self._now_ns += ns

@@ -2,11 +2,12 @@
 file-backed store directory (the ``make obs-demo`` walkthrough)."""
 
 import json
+import re
 
 import pytest
 
 from repro.cli import main
-from repro.obs import parse_prometheus_text
+from repro.obs import parse_openmetrics_text, parse_prometheus_text
 
 
 @pytest.fixture
@@ -244,3 +245,117 @@ class TestHealthCommand:
         out = capsys.readouterr().out
         assert "(history)" in out
         assert "always" in out
+
+
+class TestStatsOpenMetrics:
+    def test_openmetrics_round_trips_and_matches_prometheus(
+        self, store, capsys
+    ):
+        om = run(
+            capsys, "stats", store, "--touch", "/app", "--format", "openmetrics"
+        )
+        assert om.rstrip().endswith("# EOF")
+        prom = run(
+            capsys, "stats", store, "--touch", "/app", "--format", "prometheus"
+        )
+        # Mounting is deterministic, so the two expositions describe the
+        # same registry: identical series, the OpenMetrics one merely
+        # allowed to carry exemplars on top.
+        parsed_om = parse_openmetrics_text(om)
+        parsed_prom = parse_prometheus_text(prom)
+        assert set(parsed_om) == set(parsed_prom)
+        for name, family in parsed_prom.items():
+            assert parsed_om[name]["samples"] == family["samples"]
+
+
+class TestTraceTopSlowest:
+    def test_slowest_ranks_by_busy_time_descending(self, store, capsys):
+        for payload in ("x", "y" * 300, "z"):
+            run(capsys, "append", store, "/app", payload, "--trace")
+        out = run(capsys, "trace", "top", store, "--slowest", "3")
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 3
+        busy = [
+            float(re.search(r"busy=([0-9.]+)ms", line).group(1))
+            for line in lines
+        ]
+        assert busy == sorted(busy, reverse=True)
+
+    def test_slowest_listing_is_deterministic(self, store, capsys):
+        run(capsys, "append", store, "/app", "payload", "--trace")
+        first = run(capsys, "trace", "top", store, "--slowest", "5")
+        second = run(capsys, "trace", "top", store, "--slowest", "5")
+        assert first == second
+
+
+class TestStatsWatchReplay:
+    def test_watch_output_is_deterministic(self, store, capsys):
+        first = run(capsys, "stats", store, "--watch", "5")
+        second = run(capsys, "stats", store, "--watch", "5")
+        assert first == second
+
+    def test_watch_renders_progress_then_final_table(self, store, capsys):
+        out = run(capsys, "stats", store, "--watch", "3")
+        headers = [
+            line for line in out.splitlines() if line.startswith("--- sim t=")
+        ]
+        assert len(headers) >= 2
+        assert "replay complete" in headers[-1]
+
+
+class TestPerfCommand:
+    RATE_NAMES = ("append_single", "append_batched", "locate", "scan", "recovery")
+
+    def _record(self, capsys, tmp_path):
+        out_file = str(tmp_path / "perf.json")
+        out = run(capsys, "perf", "run", "--profile", "smoke", "--out", out_file)
+        return out, out_file
+
+    def test_run_smoke_prints_rates_and_writes_record(self, tmp_path, capsys):
+        out, out_file = self._record(capsys, tmp_path)
+        for name in self.RATE_NAMES:
+            assert name in out
+        assert "coverage" in out
+        with open(out_file) as handle:
+            record = json.load(handle)
+        assert record["bench"] == "wallclock"
+        assert record["profile"] == "smoke"
+        assert [m["name"] for m in record["measurements"]] == list(
+            self.RATE_NAMES
+        )
+        assert record["headline"]["wall_coverage"] >= 0.95
+
+    def test_unknown_profile_exits_one(self, capsys):
+        assert main(["perf", "run", "--profile", "nope"]) == 1
+
+    def test_report_rerenders_record(self, tmp_path, capsys):
+        _, out_file = self._record(capsys, tmp_path)
+        out = run(capsys, "perf", "report", out_file)
+        for name in self.RATE_NAMES:
+            assert name in out
+
+    def test_compare_self_exits_zero(self, tmp_path, capsys):
+        _, out_file = self._record(capsys, tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["perf", "compare", out_file, "--baseline", out_file]
+        ) == 0
+
+    def test_compare_injected_count_regression_exits_two(
+        self, tmp_path, capsys
+    ):
+        _, out_file = self._record(capsys, tmp_path)
+        with open(out_file) as handle:
+            record = json.load(handle)
+        regressed = str(tmp_path / "regressed.json")
+        for m in record["measurements"]:
+            if m["name"] == "locate":
+                m["counts"]["locates"] *= 2
+        with open(regressed, "w") as handle:
+            json.dump(record, handle, sort_keys=True)
+        capsys.readouterr()
+        assert main(
+            ["perf", "compare", regressed, "--baseline", out_file]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "locate.locates" in err

@@ -73,6 +73,54 @@ class TestSimTimePurity:
         )
         assert findings == []
 
+    def test_wallclock_boundary_module_is_exempt(self, tmp_path):
+        """obs/wallclock.py is the sanctioned wall-clock boundary: the
+        one place outside the sim clock allowed to read real time."""
+        findings = lint(
+            tmp_path,
+            {"obs/wallclock.py": """\
+                import time
+
+
+                class PerfWallClock:
+                    def now_ns(self) -> int:
+                        return time.perf_counter_ns()
+                """},
+            "sim-time",
+        )
+        assert findings == []
+
+    def test_perf_counter_outside_the_boundary_is_flagged(self, tmp_path):
+        """The allowlist is exact: the same read anywhere else — even a
+        perf-sounding module right next door — still fires."""
+        source = """\
+            import time
+
+            T0 = time.perf_counter_ns()
+            """
+        findings = lint(
+            tmp_path,
+            {
+                "obs/perfbench.py": source,
+                "core/writer.py": source,
+                "wallclock.py": source,  # bare name: not the obs/ boundary
+            },
+            "sim-time",
+        )
+        assert len(findings) == 3
+        assert all("perf_counter_ns" in f.message for f in findings)
+
+    def test_perf_counter_import_outside_boundary_is_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"obs/profile.py": """\
+                from time import perf_counter
+                """},
+            "sim-time",
+        )
+        assert len(findings) == 1
+        assert "perf_counter" in findings[0].message
+
 
 class TestWormEncapsulation:
     def test_foreign_private_access_is_flagged(self, tmp_path):

@@ -6,6 +6,8 @@ import math
 from repro.obs import (
     MetricsRegistry,
     json_snapshot,
+    openmetrics_text,
+    parse_openmetrics_text,
     parse_prometheus_text,
     prometheus_text,
 )
@@ -153,8 +155,8 @@ class TestExemplars:
         (family,) = json_snapshot(reg)["families"]
         (sample,) = family["samples"]
         assert sample["exemplars"] == [
-            {"le": 1, "trace_id": "c10.1"},
-            {"le": "+Inf", "trace_id": "c20.2"},
+            {"le": 1, "trace_id": "c10.1", "value": 0.5},
+            {"le": "+Inf", "trace_id": "c20.2", "value": 99.0},
         ]
 
     def test_prometheus_text_unchanged_by_exemplars(self):
@@ -173,3 +175,66 @@ class TestExemplars:
         (family,) = json_snapshot(reg)["families"]
         (sample,) = family["samples"]
         assert "exemplars" not in sample
+
+
+class TestOpenMetrics:
+    def build_exemplar_registry(self) -> MetricsRegistry:
+        reg = build_registry()
+        lat = reg.histogram(
+            "clio_locate_ms",
+            help="Locate latency",
+            labelnames=("volume",),
+            buckets=(1, 5),
+        )
+        lat.labels(volume="0").observe(0.5, exemplar="c10.1")
+        lat.labels(volume="0").observe(99.0, exemplar="c20.2")
+        lat.labels(volume="1").observe(2.0, exemplar="c30.3")
+        return reg
+
+    def test_bucket_lines_carry_exemplars_and_eof(self):
+        text = openmetrics_text(self.build_exemplar_registry())
+        assert (
+            'clio_locate_ms_bucket{volume="0",le="1"} 1 '
+            '# {trace_id="c10.1"} 0.5' in text
+        )
+        assert (
+            'clio_locate_ms_bucket{volume="0",le="+Inf"} 2 '
+            '# {trace_id="c20.2"} 99' in text
+        )
+        assert text.rstrip().endswith("# EOF")
+
+    def test_series_identical_to_prometheus_exposition(self):
+        reg = self.build_exemplar_registry()
+        assert parse_prometheus_text(
+            prometheus_text(reg)
+        ) == parse_prometheus_text(
+            "\n".join(
+                line.partition(" # {")[0]
+                for line in openmetrics_text(reg).splitlines()
+                if line != "# EOF"
+            )
+        )
+
+    def test_round_trip_recovers_samples_and_exemplars(self):
+        reg = self.build_exemplar_registry()
+        parsed = parse_openmetrics_text(openmetrics_text(reg))
+        # Samples match the plain-Prometheus parse of the same registry.
+        plain = parse_prometheus_text(prometheus_text(reg))
+        for name, family in plain.items():
+            assert parsed[name]["samples"] == family["samples"]
+        # ... and the exemplars come back with trace id and value.
+        exemplars = parsed["clio_locate_ms"]["exemplars"]
+        assert exemplars[
+            ("clio_locate_ms_bucket", (("le", "1"), ("volume", "0")))
+        ] == {"trace_id": "c10.1", "value": 0.5}
+        assert exemplars[
+            ("clio_locate_ms_bucket", (("le", "+Inf"), ("volume", "0")))
+        ] == {"trace_id": "c20.2", "value": 99.0}
+        assert exemplars[
+            ("clio_locate_ms_bucket", (("le", "5"), ("volume", "1")))
+        ] == {"trace_id": "c30.3", "value": 2.0}
+
+    def test_registry_without_exemplars_round_trips_clean(self):
+        reg = build_registry()
+        parsed = parse_openmetrics_text(openmetrics_text(reg))
+        assert parsed == parse_prometheus_text(prometheus_text(reg))

@@ -1,0 +1,144 @@
+"""Tests for the ``clio perf`` harness: a FakeWallClock run is fully
+deterministic (rates included), the instrumented/uninstrumented runs
+agree byte-for-byte on sim counts, and the compare gate fails exactly on
+injected count regressions."""
+
+import copy
+
+from repro.obs.perfbench import (
+    PROFILES,
+    PerfProfile,
+    check_determinism,
+    compare_reports,
+    counts_fingerprint,
+    report_to_dict,
+    run_profile,
+)
+from repro.obs.wallclock import FakeWallClock
+
+#: A minimal profile so each test runs in well under a second.
+TINY = PerfProfile(
+    name="tiny",
+    reps=2,
+    warmup=1,
+    entries=8,
+    batch_entries=16,
+    batch_size=8,
+    locates=4,
+    payload_bytes=48,
+    block_size=512,
+    capacity_blocks=1024,
+)
+
+
+class TestRunProfile:
+    def test_all_measurements_and_counts(self, tmp_path):
+        report = run_profile(TINY, str(tmp_path), FakeWallClock())
+        names = [m.name for m in report.measurements]
+        assert names == [
+            "append_single",
+            "append_batched",
+            "locate",
+            "scan",
+            "recovery",
+        ]
+        for m in report.measurements:
+            assert len(m.rep_rates) == TINY.reps
+            assert m.median_rate > 0.0
+            assert m.counts
+        assert report.metrics["families"]
+
+    def test_fake_clock_makes_rates_reproducible(self, tmp_path):
+        a = run_profile(TINY, str(tmp_path / "a"), FakeWallClock())
+        b = run_profile(TINY, str(tmp_path / "b"), FakeWallClock())
+        assert report_to_dict(a) == report_to_dict(b)
+
+    def test_attribution_sums_to_traced_wall_time(self, tmp_path):
+        report = run_profile(TINY, str(tmp_path), FakeWallClock())
+        attributed = sum(report.attribution_ns.values())
+        assert 0 < attributed <= report.harness_wall_ns
+        # Section-3 components appear, not only span:* buckets.
+        assert any(not k.startswith("span:") for k in report.attribution_ns)
+
+    def test_named_profiles_exist(self):
+        assert set(PROFILES) == {"smoke", "full"}
+        assert PROFILES["smoke"].reps >= 3
+
+
+class TestDeterminism:
+    def test_instrumented_and_bare_runs_agree(self, tmp_path):
+        ok, detail = check_determinism(TINY, str(tmp_path), FakeWallClock())
+        assert ok, detail
+
+    def test_fingerprint_ignores_wall_fields(self, tmp_path):
+        clocked = run_profile(TINY, str(tmp_path / "c"), FakeWallClock())
+        bare = run_profile(TINY, str(tmp_path / "n"), None)
+        assert counts_fingerprint(clocked) == counts_fingerprint(bare)
+        # ... while the wall-dependent faces differ (bare rates are 0).
+        assert report_to_dict(clocked) != report_to_dict(bare)
+
+
+class TestCompareGate:
+    def _record(self, tmp_path):
+        return report_to_dict(
+            run_profile(TINY, str(tmp_path), FakeWallClock())
+        )
+
+    def test_identical_records_pass(self, tmp_path):
+        record = self._record(tmp_path)
+        failures, advisories = compare_reports(record, record)
+        assert failures == []
+        assert advisories == []
+
+    def test_injected_count_regression_fails(self, tmp_path):
+        baseline = self._record(tmp_path)
+        current = copy.deepcopy(baseline)
+        for m in current["measurements"]:
+            if m["name"] == "locate":
+                m["counts"]["locates"] *= 1.5
+        failures, _ = compare_reports(current, baseline)
+        assert any("locate.locates" in f for f in failures)
+
+    def test_within_threshold_count_drift_passes(self, tmp_path):
+        baseline = self._record(tmp_path)
+        current = copy.deepcopy(baseline)
+        for m in current["measurements"]:
+            if m["name"] == "locate":
+                m["counts"]["locates"] *= 1.2
+        failures, _ = compare_reports(current, baseline)
+        assert failures == []
+
+    def test_rate_drop_is_advisory_not_failure(self, tmp_path):
+        baseline = self._record(tmp_path)
+        current = copy.deepcopy(baseline)
+        for m in current["measurements"]:
+            m["median"] = m["median"] / 10.0
+        failures, advisories = compare_reports(current, baseline)
+        assert failures == []
+        assert any("below baseline" in a for a in advisories)
+
+    def test_count_shrink_is_advisory(self, tmp_path):
+        baseline = self._record(tmp_path)
+        current = copy.deepcopy(baseline)
+        for m in current["measurements"]:
+            if m["name"] == "scan":
+                m["counts"]["blocks_parsed"] *= 0.5
+        failures, advisories = compare_reports(current, baseline)
+        assert failures == []
+        assert any("blocks_parsed" in a for a in advisories)
+
+    def test_missing_measurement_fails(self, tmp_path):
+        baseline = self._record(tmp_path)
+        current = copy.deepcopy(baseline)
+        current["measurements"] = [
+            m for m in current["measurements"] if m["name"] != "recovery"
+        ]
+        failures, _ = compare_reports(current, baseline)
+        assert any("recovery" in f for f in failures)
+
+    def test_profile_mismatch_fails(self, tmp_path):
+        baseline = self._record(tmp_path)
+        current = copy.deepcopy(baseline)
+        current["profile"] = "other"
+        failures, _ = compare_reports(current, baseline)
+        assert any("profile mismatch" in f for f in failures)

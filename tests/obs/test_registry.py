@@ -226,9 +226,9 @@ class TestExemplars:
         h.observe(99.0, exemplar="c40.4")  # +Inf bucket
         snapshot = h._default.snapshot()
         assert snapshot.exemplars == (
-            (1.0, "c20.2"),
-            (16.0, "c30.3"),
-            (float("inf"), "c40.4"),
+            (1.0, "c20.2", 0.7),
+            (16.0, "c30.3", 8.0),
+            (float("inf"), "c40.4", 99.0),
         )
 
     def test_observations_without_exemplars_leave_none(self):
@@ -241,5 +241,9 @@ class TestExemplars:
         h = Histogram("h", "", labelnames=("kind",), buckets=(1,))
         h.labels(kind="read").observe(0.5, exemplar="c1.1")
         h.labels(kind="write").observe(0.5, exemplar="c2.2")
-        assert h.labels(kind="read").snapshot().exemplars == ((1.0, "c1.1"),)
-        assert h.labels(kind="write").snapshot().exemplars == ((1.0, "c2.2"),)
+        assert h.labels(kind="read").snapshot().exemplars == (
+            (1.0, "c1.1", 0.5),
+        )
+        assert h.labels(kind="write").snapshot().exemplars == (
+            (1.0, "c2.2", 0.5),
+        )
