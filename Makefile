@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check bench bench-fastpath bench-tables bench-wallclock examples fsck-demo obs-demo health-demo outputs clean
+.PHONY: install test lint check campaign bench bench-fastpath bench-tables bench-wallclock examples fsck-demo obs-demo health-demo outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -18,6 +18,13 @@ lint:
 # Pre-commit gate: lint + tier-1 tests (+ mypy when installed).
 check:
 	./scripts/check.sh
+
+# The deterministic fault campaign (docs/FAULTS.md): every injected
+# fault must surface in at least one observability channel; the coverage
+# matrix artifact must be byte-identical across runs.  Exit 2 on any
+# silent miss.
+campaign:
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --menu full --check-determinism
 
 bench:
 	CLIO_BENCH_RECORD_DIR=. $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -15,6 +15,11 @@ PYTHONPATH=src python -m pytest -x -q
 echo "== trace determinism =="
 PYTHONPATH=src python scripts/trace_determinism.py
 
+echo "== fault campaign (silent-miss gate + artifact determinism) =="
+PYTHONPATH=src python -m repro campaign run --menu small --check-determinism \
+    --out /tmp/clio_campaign_small.json > /dev/null
+echo "campaign ok: no silent misses, artifact deterministic"
+
 echo "== perf smoke (wall-clock harness + determinism + baseline gate) =="
 PYTHONPATH=src python -m repro perf run --profile smoke \
     --check-determinism --out /tmp/clio_perf_smoke.json

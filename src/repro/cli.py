@@ -483,6 +483,8 @@ def _cmd_events(args) -> int:
         events = service.journal.events()
     if args.kind:
         events = [event for event in events if event.kind == args.kind]
+    if args.since is not None:
+        events = [event for event in events if event.ts_us >= args.since]
     if args.limit is not None:
         events = events[-args.limit :]
     if not events:
@@ -657,6 +659,84 @@ def _cmd_perf_compare(args) -> int:
         f"ok: counts within {args.threshold:.0%} of baseline "
         f"({len(advisories)} advisory note(s))"
     )
+    return 0
+
+
+def _cmd_campaign_run(args) -> int:
+    """Run the deterministic fault campaign; exit 2 on any silent miss,
+    control mismatch, or determinism failure (see docs/FAULTS.md)."""
+    from repro.obs import campaign
+
+    try:
+        report = campaign.run_campaign(args.menu)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    artifact = report.encode()
+    if args.check_determinism:
+        second = campaign.run_campaign(args.menu).encode()
+        if artifact != second:
+            print(
+                "determinism: ARTIFACTS DIFFER between two identical runs",
+                file=sys.stderr,
+            )
+            return 2
+        print("determinism: artifact byte-identical across two runs")
+    print(campaign.format_report(report.as_dict()))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(artifact + "\n")
+        print(f"(wrote {args.out})")
+    if report.silent_misses:
+        print(
+            "FAIL: silent misses (fault detected by no channel): "
+            + ", ".join(report.silent_misses),
+            file=sys.stderr,
+        )
+        return 2
+    if not report.control_ok:
+        print(
+            "FAIL: no-fault control drive diverged from the plain workload",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    import json
+
+    from repro.obs import campaign
+
+    with open(args.file) as handle:
+        record = json.load(handle)
+    print(campaign.format_report(record))
+    return 0
+
+
+def _cmd_campaign_diff(args) -> int:
+    """Compare two campaign artifacts; exit 2 on a detection regression
+    (a lost channel or a coverage drop)."""
+    import json
+
+    from repro.obs import campaign
+
+    with open(args.old) as handle:
+        old = json.load(handle)
+    with open(args.new) as handle:
+        new = json.load(handle)
+    changes = campaign.diff_reports(old, new)
+    if not changes:
+        print("no channel-level differences")
+        return 0
+    for line in changes:
+        print(line)
+    regressions = [line for line in changes if line.startswith("!")]
+    if regressions:
+        print(
+            f"{len(regressions)} detection regression(s)", file=sys.stderr
+        )
+        return 2
     return 0
 
 
@@ -837,6 +917,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also read PATH so its events appear (repeatable)",
     )
     p.add_argument("--kind", help="only events of this kind")
+    p.add_argument(
+        "--type",
+        dest="kind",
+        help="only events of this kind (alias for --kind)",
+    )
+    p.add_argument(
+        "--since",
+        type=int,
+        default=None,
+        metavar="US",
+        help="only events at or after this simulated timestamp (µs)",
+    )
     p.add_argument("--limit", type=int, default=None, help="newest N events")
     p.add_argument(
         "--persisted",
@@ -944,6 +1036,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative regression tolerance (default: 0.30)",
     )
     pp.set_defaults(handler=_cmd_perf_compare)
+
+    p = commands.add_parser(
+        "campaign",
+        help="deterministic fault-injection campaign: run, report, diff "
+        "(silent-miss gate)",
+    )
+    campaign_commands = p.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    cp = campaign_commands.add_parser(
+        "run",
+        help="inject every fault of a menu on throwaway stores and score "
+        "detection coverage",
+    )
+    cp.add_argument(
+        "--menu",
+        default="small",
+        help="fault menu: small (CI smoke) or full (default: small)",
+    )
+    cp.add_argument(
+        "--out", metavar="FILE", help="write the coverage-matrix JSON to FILE"
+    )
+    cp.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run the campaign twice and require byte-identical artifacts "
+        "(exit 2 if not)",
+    )
+    cp.set_defaults(handler=_cmd_campaign_run)
+
+    cp = campaign_commands.add_parser(
+        "report", help="render a recorded coverage-matrix JSON file"
+    )
+    cp.add_argument("file")
+    cp.set_defaults(handler=_cmd_campaign_report)
+
+    cp = campaign_commands.add_parser(
+        "diff",
+        help="compare two coverage matrices: non-zero exit when a fault "
+        "lost a detection channel",
+    )
+    cp.add_argument("old")
+    cp.add_argument("new")
+    cp.set_defaults(handler=_cmd_campaign_diff)
 
     return parser
 

@@ -87,6 +87,10 @@ class ReadStats:
     block_accesses: int = 0
     device_reads: int = 0
     corrupt_blocks_found: int = 0
+    #: Record slots whose entry header failed to decode — a torn or
+    #: garbage-suffixed write inside a structurally intact block.  Each
+    #: distinct (volume, block, slot) is counted once.
+    corrupt_records_found: int = 0
     torn_entries_skipped: int = 0
     #: Actual ``parse_block`` invocations — a cached re-read of an already
     #: decoded block does not increment this (the parsed-tier fast path).
@@ -101,6 +105,7 @@ class ReadStats:
             block_accesses=self.block_accesses,
             device_reads=self.device_reads,
             corrupt_blocks_found=self.corrupt_blocks_found,
+            corrupt_records_found=self.corrupt_records_found,
             torn_entries_skipped=self.torn_entries_skipped,
             blocks_parsed=self.blocks_parsed,
             locate_memo_hits=self.locate_memo_hits,
@@ -117,6 +122,8 @@ class ReadStats:
             device_reads=self.device_reads - earlier.device_reads,
             corrupt_blocks_found=self.corrupt_blocks_found
             - earlier.corrupt_blocks_found,
+            corrupt_records_found=self.corrupt_records_found
+            - earlier.corrupt_records_found,
             torn_entries_skipped=self.torn_entries_skipped
             - earlier.torn_entries_skipped,
             blocks_parsed=self.blocks_parsed - earlier.blocks_parsed,
@@ -172,6 +179,9 @@ class LogReader:
         #: locate answers near the tail, so the whole memo is dropped).
         self._locate_memo: dict[tuple[str, int, int], int | None] = {}
         self._memo_generation = -1
+        #: (volume, block, slot) triples already reported as corrupt
+        #: records, so re-scans of the same damage count and journal once.
+        self._corrupt_slots_reported: set[tuple[int, int, int]] = set()
 
     # -- geometry ------------------------------------------------------------
 
@@ -394,6 +404,11 @@ class LogReader:
         for slot in parsed.entry_start_slots():
             header = self.entry_header_at(parsed, slot)
             if header is None:
+                # The writer guarantees every record's header fits in its
+                # first fragment, so an undecodable header means the slot
+                # carries garbage (e.g. a torn write inside a structurally
+                # intact block).  Report it once per location.
+                self._report_corrupt_record(volume_index, local_block, slot)
                 continue
             members.update(self._tracked_ancestors(header.logfile_id))
         if parsed.cont_in:
@@ -401,6 +416,18 @@ class LogReader:
             if owner is not None:
                 members.update(self._tracked_ancestors(owner))
         return frozenset(members)
+
+    def _report_corrupt_record(
+        self, volume_index: int, local_block: int, slot: int
+    ) -> None:
+        key = (volume_index, local_block, slot)
+        if key in self._corrupt_slots_reported:
+            return
+        self._corrupt_slots_reported.add(key)
+        self.stats.corrupt_records_found += 1
+        self.store.journal.emit(
+            "record.corrupt", volume=volume_index, block=local_block, slot=slot
+        )
 
     def _tracked_ancestors(self, logfile_id: int) -> list[int]:
         from repro.core.entrymap import UNTRACKED_IDS

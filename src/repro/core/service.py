@@ -321,7 +321,12 @@ class LogService:
             # Adopt the NVRAM tail image if it continues the active volume.
             if store.nvram is not None:
                 image = store.nvram.load()
-                if image is not None:
+                if image is None:
+                    # Nothing staged: either the last burn completed cleanly
+                    # or the NVRAM did not survive the crash.  Recorded so
+                    # NVRAM loss is observable at mount time.
+                    store.journal.emit("recovery.nvram_empty", volume=active_index)
+                else:
                     expected_global = store.sequence.volume_base(active_index) + (
                         tails[active_index] + 1
                     )
@@ -335,6 +340,13 @@ class LogService:
                             "recovery.nvram_tail",
                             volume=active_index,
                             block=tails[active_index],
+                        )
+                    else:
+                        store.journal.emit(
+                            "recovery.nvram_stale",
+                            volume=active_index,
+                            block=image.block_index,
+                            expected=expected_global,
                         )
 
             # Step 2: reconstruct entrymap accumulators, volume by volume.
@@ -375,7 +387,12 @@ class LogService:
             for index in range(len(store.sequence.volumes)):
                 rebuild_entrymap_state(store, self.reader, index, tails[index])
 
-            self.known_corrupt_blocks = replay_corrupted_block_log(self.reader)
+            # Merge, don't replace: the rebuild scan above may itself have
+            # discovered garbage blocks (below the tail, so no persisted
+            # record exists for them); overwriting the set would silently
+            # drop those findings from the report and the corrupt-blocks
+            # gauge.
+            self.known_corrupt_blocks |= replay_corrupted_block_log(self.reader)
             report.corrupted_blocks_known = len(self.known_corrupt_blocks)
             root.set("blocks_scanned", report.total_blocks_examined)
             root.set("catalog_records", report.catalog_records_replayed)

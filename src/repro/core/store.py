@@ -38,6 +38,17 @@ def _device_sink(journal, volume_index: int):
     return sink
 
 
+def _mirror_sink(journal, volume_index: int):
+    """A divergence sink closure for one volume's mirrored device."""
+
+    def sink(event: str, replica: int, block: int) -> None:
+        journal.emit(
+            f"mirror.{event}", volume=volume_index, replica=replica, block=block
+        )
+
+    return sink
+
+
 @dataclass(slots=True)
 class SpaceStats:
     """Cumulative space accounting (Section 3.5's quantities).
@@ -177,6 +188,11 @@ class LogStore:
             device = volume.device
             if getattr(device, "event_sink", None) is None:
                 device.event_sink = _device_sink(journal, index)
+            if (
+                hasattr(device, "divergence_sink")
+                and device.divergence_sink is None
+            ):
+                device.divergence_sink = _mirror_sink(journal, index)
 
     def make_device(self) -> WormDevice:
         """Create a fresh write-once medium per the configuration."""

@@ -26,7 +26,7 @@ from repro.core.entry import LogEntry
 from repro.core.entrymap import UNTRACKED_IDS, EntrymapState
 from repro.core.ids import CATALOG_ID, ENTRYMAP_ID, EntryId, EntryLocation
 from repro.core.store import LogStore
-from repro.worm.errors import CorruptBlockError
+from repro.worm.errors import CorruptBlockError, StorageError
 from repro.worm.volume import LogVolume
 
 __all__ = ["TailWriter", "AppendResult"]
@@ -447,7 +447,18 @@ class TailWriter:
 
     def _extend_sequence(self) -> None:
         """Load a (previously unused) successor volume (Section 2.1)."""
-        device = self.store.make_device()
+        try:
+            device = self.store.make_device()
+        except StorageError as exc:
+            # No successor medium available: the sequence is exhausted.
+            # Surface the condition before the error propagates so the
+            # journal records why the append failed.
+            self.store.journal.emit(
+                "volume.exhausted",
+                volume=self._volume_index,
+                error=type(exc).__name__,
+            )
+            raise
         self.store.sequence.create_volume(device, created_ts=self.store.clock.now_us)
         self._volume_index = len(self.store.sequence.volumes) - 1
         self.store.states.append(

@@ -1,0 +1,785 @@
+"""Deterministic fault campaigns with a silent-miss detection gate.
+
+ROADMAP item 5: the obs stack (events, SLO alerts, flight recorder,
+traces) has never been adversarially tested against the failure modes the
+paper claims the log service survives cheaply.  A *campaign* runs the
+canonical workloads (the Section 3.5 login log, the Section 4.1 file
+trace) while injecting the systematic fault menu of
+:mod:`repro.obs.faultspec` at simulated-clock-scheduled points, then
+scores **detection coverage**: every injected fault must surface in at
+least one observability channel —
+
+* ``events``   — the :class:`~repro.obs.events.EventJournal` ring,
+* ``alerts``   — the :class:`~repro.obs.slo.SloEngine` ruleset,
+* ``recovery`` — the mount-time RecoveryReport / crash flight recorder,
+* ``traces``   — an error-attributed span root.
+
+A fault no channel reports is a *silent miss* — a bug in either the fault
+or the alerting, and a hard failure of ``clio campaign run``.  Campaigns
+contain no randomness of their own (the corruption helpers use fixed
+seeds), so the coverage-matrix artifact is byte-identical across runs, and
+the no-fault control drive is byte-identical — in simulated-time counters
+— to the same workload run without the harness.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.faultspec import (
+    CHANNELS,
+    FaultSpec,
+    full_menu,
+    small_menu,
+)
+
+__all__ = [
+    "CampaignAbort",
+    "CampaignError",
+    "CampaignReport",
+    "FaultOutcome",
+    "counters_fingerprint",
+    "diff_reports",
+    "drive_filetrace",
+    "drive_login_log",
+    "format_report",
+    "menu_specs",
+    "replay_filetrace",
+    "run_campaign",
+    "run_spec",
+]
+
+#: Control-run sizing (kept small: the control proves harness transparency,
+#: not throughput).
+CONTROL_LOGIN_RECORDS = 200
+CONTROL_FILETRACE_FILES = 40
+
+#: SLO rules the campaign consults, by fault evidence.
+_CORRUPT_RULES = frozenset({"corrupt_blocks_present", "corrupt_records_present"})
+_MIRROR_RULES = frozenset({"mirror_divergence"})
+
+#: Journal kinds that report damaged media content.
+_CORRUPT_KINDS = frozenset({"block.corrupt", "record.corrupt"})
+
+
+class CampaignError(RuntimeError):
+    """A scenario's premise failed (the fault could not be staged)."""
+
+
+class CampaignAbort(Exception):
+    """Raised by an injection callback to stop the workload drive."""
+
+
+# --------------------------------------------------------------------- #
+# Workload drivers
+# --------------------------------------------------------------------- #
+#
+# Each workload has a *plain* form (the canonical drive, no harness) and a
+# *stepped* form used by campaigns: identical service calls in identical
+# order, plus an injection hook that fires before the first step at or
+# past ``at_us``.  The hook check reads only the simulated clock, so a
+# stepped drive with no injection is indistinguishable — in sim-time
+# counters — from the plain drive (the control criterion).
+
+
+def drive_login_log(
+    service,
+    count: int,
+    *,
+    root_path: str = "/access",
+    stop_on: tuple = (),
+    inject=None,
+    at_us: int = 0,
+):
+    """Step-wise replica of :meth:`LoginLogWorkload.drive` with an
+    injection hook.  Returns ``(records_written, fired, stopped)``."""
+    from repro.workloads.login_log import LoginLogWorkload
+
+    workload = LoginLogWorkload()
+    root = service.create_log_file(root_path)
+    sublogs: dict[str, object] = {}
+    written = 0
+    fired = False
+    try:
+        for record in workload.generate(count):
+            if inject is not None and not fired and service.clock.now_us >= at_us:
+                fired = True
+                inject()
+            if record.user not in sublogs:
+                sublogs[record.user] = root.create_sublog(record.user)
+            sublogs[record.user].append(record.encode())
+            written += 1
+    except stop_on:
+        return written, fired, True
+    if inject is not None and not fired:
+        fired = True
+        try:
+            inject()
+        except stop_on:
+            return written, fired, True
+    return written, fired, False
+
+
+def replay_filetrace(service, trace) -> None:
+    """The canonical Section 4.1 replay (no harness): every event hits the
+    history file server with an immediate flush policy."""
+    from repro.apps import HistoryFileServer
+    from repro.workloads.filetrace import FileOp
+
+    server = HistoryFileServer(service, flush_delay_us=0)
+    for event in trace.generate():
+        now = service.clock.now_us
+        if event.time_us > now:
+            service.clock.advance_us(event.time_us - now)
+        if event.op is FileOp.WRITE:
+            server.write(event.path, 0, event.data)
+        elif server.exists(event.path):
+            server.delete(event.path)
+        server.flush(now_us=service.clock.now_us)
+    server.flush()
+
+
+def drive_filetrace(
+    service,
+    trace,
+    *,
+    stop_on: tuple = (),
+    inject=None,
+    at_us: int = 0,
+):
+    """Stepped form of :func:`replay_filetrace` with an injection hook.
+    Returns ``(events_replayed, fired, stopped)``."""
+    from repro.apps import HistoryFileServer
+    from repro.workloads.filetrace import FileOp
+
+    server = HistoryFileServer(service, flush_delay_us=0)
+    replayed = 0
+    fired = False
+    try:
+        for event in trace.generate():
+            if inject is not None and not fired and service.clock.now_us >= at_us:
+                fired = True
+                inject()
+            now = service.clock.now_us
+            if event.time_us > now:
+                service.clock.advance_us(event.time_us - now)
+            if event.op is FileOp.WRITE:
+                server.write(event.path, 0, event.data)
+            elif server.exists(event.path):
+                server.delete(event.path)
+            server.flush(now_us=service.clock.now_us)
+        server.flush()
+    except stop_on:
+        return replayed, fired, True
+    if inject is not None and not fired:
+        fired = True
+        try:
+            inject()
+        except stop_on:
+            return replayed, fired, True
+    return replayed, fired, False
+
+
+# --------------------------------------------------------------------- #
+# Deterministic counters fingerprint
+# --------------------------------------------------------------------- #
+
+
+def counters_fingerprint(service) -> dict:
+    """Every simulated-time counter the harness must not perturb, as a
+    JSON-stable dict: the clock, per-volume device stats, and the space
+    accounting.  Volume ids (uuid4) are deliberately excluded."""
+    store = service.store
+    volumes = []
+    for volume in store.sequence.volumes:
+        stats = volume.device.stats
+        volumes.append(
+            {
+                "blocks_written": volume.device.blocks_written,
+                "busy_ms": stats.busy_ms,
+                "invalidations": stats.invalidations,
+                "reads": stats.reads,
+                "seeks": stats.seeks,
+                "tail_queries": stats.tail_queries,
+                "writes": stats.writes,
+                "written_probes": stats.written_probes,
+            }
+        )
+    space = store.space
+    return {
+        "clock_us": store.clock.now_us,
+        "space": {
+            "blocks_written": space.blocks_written,
+            "catalog": space.catalog,
+            "client_data": space.client_data,
+            "client_entries": space.client_entries,
+            "entry_headers": space.entry_headers,
+            "entrymap": space.entrymap,
+            "forced_padding": space.forced_padding,
+            "size_index": space.size_index,
+        },
+        "volumes": volumes,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Channel probes
+# --------------------------------------------------------------------- #
+
+
+def _event_evidence(events, kinds) -> str | None:
+    for event in events:
+        if event.kind in kinds:
+            return f"{event.kind} seq={event.seq} ts_us={event.ts_us}"
+    return None
+
+
+def _alert_evidence(service, rule_names) -> str | None:
+    from repro.obs.slo import SloEngine, default_ruleset
+
+    rules = [rule for rule in default_ruleset() if rule.name in rule_names]
+    engine = SloEngine(service, rules=rules)
+    for alert in engine.evaluate():
+        if alert.rule in rule_names:
+            return f"{alert.rule} value={alert.value}"
+    return None
+
+
+def _trace_evidence(service, span_names) -> str | None:
+    tracer = service.tracer
+    if tracer is None:
+        return None
+    for root in tracer.recent():
+        for span in root.walk():
+            error = span.attributes.get("error")
+            if error is not None and span.name in span_names:
+                return f"span={span.name} error={error}"
+    return None
+
+
+def _recovery_evidence(report, kinds) -> str | None:
+    if report.corrupted_blocks_known > 0:
+        return f"corrupted_blocks_known={report.corrupted_blocks_known}"
+    for event in report.flight_recorder:
+        if event.kind in kinds:
+            return f"flight:{event.kind} seq={event.seq}"
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Outcomes and reports
+# --------------------------------------------------------------------- #
+
+
+class FaultOutcome:
+    """One injected fault and the channels that reported it."""
+
+    def __init__(self, spec: FaultSpec, channels: dict) -> None:
+        self.spec = spec
+        self.channels = {name: channels.get(name) for name in CHANNELS}
+
+    @property
+    def detected(self) -> bool:
+        return any(value is not None for value in self.channels.values())
+
+    @property
+    def silent_miss(self) -> bool:
+        return not self.detected
+
+    @property
+    def expected_missed(self) -> list:
+        """Designed channels that did not report (informational)."""
+        return [
+            name
+            for name in self.spec.expected_channels
+            if self.channels.get(name) is None
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "channels": dict(self.channels),
+            "detected": self.detected,
+            "expected_missed": list(self.expected_missed),
+            "fault_class": self.spec.fault_class,
+            "fault_id": self.spec.fault_id,
+            "silent_miss": self.silent_miss,
+            "spec": self.spec.as_dict(),
+            "workload": self.spec.workload,
+        }
+
+
+class CampaignReport:
+    """The fault x channel coverage matrix plus the control check."""
+
+    def __init__(self, menu: str, outcomes: list, control: dict) -> None:
+        self.menu = menu
+        self.outcomes = outcomes
+        self.control = control
+
+    @property
+    def silent_misses(self) -> list:
+        return [o.spec.fault_id for o in self.outcomes if o.silent_miss]
+
+    @property
+    def coverage(self) -> float:
+        if not self.outcomes:
+            return 1.0
+        detected = sum(1 for o in self.outcomes if o.detected)
+        return detected / len(self.outcomes)
+
+    @property
+    def control_ok(self) -> bool:
+        return all(entry["match"] for entry in self.control.values())
+
+    @property
+    def passed(self) -> bool:
+        return not self.silent_misses and self.control_ok
+
+    def as_dict(self) -> dict:
+        return {
+            "campaign": {
+                "channels": list(CHANNELS),
+                "coverage": self.coverage,
+                "detected": sum(1 for o in self.outcomes if o.detected),
+                "faults": len(self.outcomes),
+                "menu": self.menu,
+                "passed": self.passed,
+                "silent_misses": list(self.silent_misses),
+            },
+            "control": self.control,
+            "matrix": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+    def encode(self) -> str:
+        """Byte-deterministic artifact form (sorted keys, compact)."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+
+# --------------------------------------------------------------------- #
+# Scenarios — one per fault class
+# --------------------------------------------------------------------- #
+
+
+def _make_service(**overrides):
+    from repro.core.service import LogService
+
+    overrides.setdefault("observability", True)
+    return LogService.create(**overrides)
+
+
+def _scenario_torn_write(spec: FaultSpec) -> FaultOutcome:
+    """A torn sector write at the tail: the crash block carries a garbage
+    suffix, which recovery's tail scan must flag as corrupt."""
+    from repro.core.service import LogService
+    from repro.worm.corruption import CrashingWormDevice
+    from repro.worm.errors import DeviceCrashed
+
+    # Pure write-once configuration: no firmware tail query (the garbage
+    # block must be *found* by the binary search) and no NVRAM staging.
+    service = _make_service(
+        supports_tail_query=False,
+        nvram_tail=False,
+        volume_capacity_blocks=256,
+    )
+    staged: list = []
+
+    def inject():
+        volume = service.store.sequence.volumes[-1]
+        crasher = CrashingWormDevice(
+            volume.device,
+            crash_after_writes=spec.param("crash_after_writes", 1),
+            torn=True,
+        )
+        volume.device = crasher
+        staged.append((volume, crasher))
+
+    drive_login_log(
+        service,
+        spec.param("records", 300),
+        stop_on=(DeviceCrashed,),
+        inject=inject,
+        at_us=spec.at_us,
+    )
+    if not staged:
+        raise CampaignError(f"{spec.fault_id}: injection never fired")
+    volume, crasher = staged[0]
+    # The crash may not have landed during the drive (e.g. the trigger
+    # fired between burns); force appends until the device dies.
+    root = service.open_log_file("/access")
+    while not crasher.has_crashed:
+        try:
+            root.append(b"torn-write filler entry")
+        except DeviceCrashed:
+            break
+    volume.device = crasher.reincarnate()
+
+    remains = service.crash()
+    mounted, report = LogService.mount(
+        remains.devices, remains.nvram, observability=True
+    )
+    return FaultOutcome(
+        spec,
+        {
+            "events": _event_evidence(mounted.journal.events(), _CORRUPT_KINDS),
+            "alerts": _alert_evidence(mounted, _CORRUPT_RULES),
+            "recovery": _recovery_evidence(report, _CORRUPT_KINDS),
+            "traces": _trace_evidence(service, {"append", "append_many"}),
+        },
+    )
+
+
+def _scenario_bit_rot(spec: FaultSpec) -> FaultOutcome:
+    """Cold bit-rot: a written block rots to garbage while the service is
+    down; the mount-time scan must flag it."""
+    from repro.core.service import LogService
+    from repro.worm.corruption import corrupt_block
+    from repro.workloads.filetrace import FileTrace
+
+    service = _make_service()
+    trace = FileTrace(file_count=spec.param("files", 60))
+
+    def inject():
+        raise CampaignAbort
+
+    drive_filetrace(
+        service, trace, stop_on=(CampaignAbort,), inject=inject, at_us=spec.at_us
+    )
+    device = service.store.sequence.volumes[0].device
+    if device.next_writable < 3:
+        raise CampaignError(
+            f"{spec.fault_id}: too few blocks written before the trigger"
+        )
+    # The newest burned block: always inside recovery's tail re-scan.
+    block = device.next_writable - 1
+    remains = service.crash()
+    corrupt_block(remains.devices[0], block)
+    mounted, report = LogService.mount(
+        remains.devices, remains.nvram, observability=True
+    )
+    return FaultOutcome(
+        spec,
+        {
+            "events": _event_evidence(mounted.journal.events(), _CORRUPT_KINDS),
+            "alerts": _alert_evidence(mounted, _CORRUPT_RULES),
+            "recovery": _recovery_evidence(report, _CORRUPT_KINDS),
+            "traces": _trace_evidence(mounted, {"recovery"}),
+        },
+    )
+
+
+def _scenario_mirror_divergence(spec: FaultSpec) -> FaultOutcome:
+    """One replica of a mirrored volume diverges (a block invalidated on
+    it only); the next read must repair from a survivor and say so."""
+    from repro.worm.device import WormDevice
+    from repro.worm.geometry import NULL_GEOMETRY
+    from repro.worm.mirror import MirroredWormDevice
+
+    replica_sets: list = []
+
+    def factory():
+        pair = [
+            WormDevice(1024, 4096, NULL_GEOMETRY)
+            for _ in range(spec.param("replicas", 2))
+        ]
+        replica_sets.append(pair)
+        return MirroredWormDevice(pair)
+
+    service = _make_service(device_factory=factory)
+
+    def inject():
+        pair = replica_sets[0]
+        mirror = service.store.sequence.volumes[0].device
+        if mirror.next_writable < 3:
+            raise CampaignError(
+                f"{spec.fault_id}: too few blocks written before the trigger"
+            )
+        # Diverge replica 0 only: the mirror believes the block is good.
+        pair[0].invalidate(mirror.next_writable // 2)
+        service.store.cache.clear()
+
+    drive_login_log(
+        service,
+        spec.param("records", 300),
+        inject=inject,
+        at_us=spec.at_us,
+    )
+    # Read everything back: the diverged block forces a read repair.
+    for _entry in service.open_root().entries():
+        pass
+    return FaultOutcome(
+        spec,
+        {
+            "events": _event_evidence(
+                service.journal.events(),
+                {"mirror.read_repair", "mirror.replica_dropped"},
+            ),
+            "alerts": _alert_evidence(service, _MIRROR_RULES),
+            "recovery": None,
+            "traces": None,
+        },
+    )
+
+
+def _scenario_nvram_loss(spec: FaultSpec) -> FaultOutcome:
+    """The NVRAM staging the forced tail does not survive the crash; the
+    remount must record that the staged image is gone."""
+    from repro.core.service import LogService
+    from repro.vsystem.clock import SimClock
+    from repro.worm.nvram import NvramTail
+
+    clock = SimClock()
+    nvram = NvramTail(capacity_bytes=1024, survives_crash=False, clock=clock)
+    service = _make_service(clock=clock, nvram=nvram)
+
+    def inject():
+        service.sync()
+        raise CampaignAbort
+
+    drive_login_log(
+        service,
+        spec.param("records", 240),
+        stop_on=(CampaignAbort,),
+        inject=inject,
+        at_us=spec.at_us,
+    )
+    if nvram.load() is None:
+        raise CampaignError(
+            f"{spec.fault_id}: no tail image staged before the crash"
+        )
+    remains = service.crash()
+    mounted, report = LogService.mount(
+        remains.devices, remains.nvram, observability=True
+    )
+    if report.nvram_tail_recovered:
+        raise CampaignError(
+            f"{spec.fault_id}: the lost image was somehow recovered"
+        )
+    return FaultOutcome(
+        spec,
+        {
+            "events": _event_evidence(
+                mounted.journal.events(), {"recovery.nvram_empty"}
+            ),
+            "alerts": None,
+            "recovery": _recovery_evidence(report, {"recovery.nvram_empty"}),
+            "traces": None,
+        },
+    )
+
+
+def _scenario_crash_mid_batch(spec: FaultSpec) -> FaultOutcome:
+    """The device dies part-way through a server-side group commit; the
+    failed ``append_many`` must leave an error-attributed trace."""
+    from repro.worm.corruption import CrashingWormDevice
+    from repro.worm.errors import DeviceCrashed
+
+    service = _make_service()
+
+    def inject():
+        volume = service.store.sequence.volumes[-1]
+        volume.device = CrashingWormDevice(
+            volume.device,
+            crash_after_writes=spec.param("crash_after_writes", 2),
+        )
+        batch = [f"batch entry {index:04d} ".encode() * 8 for index in range(64)]
+        service.open_log_file("/access").append_many(batch)
+
+    _written, fired, stopped = drive_login_log(
+        service,
+        spec.param("records", 200),
+        stop_on=(DeviceCrashed,),
+        inject=inject,
+        at_us=spec.at_us,
+    )
+    if not (fired and stopped):
+        raise CampaignError(f"{spec.fault_id}: the batch did not crash")
+    return FaultOutcome(
+        spec,
+        {
+            "events": None,
+            "alerts": None,
+            "recovery": None,
+            "traces": _trace_evidence(service, {"append_many"}),
+        },
+    )
+
+
+def _scenario_volume_exhaustion(spec: FaultSpec) -> FaultOutcome:
+    """The media library runs dry: extending the volume sequence fails,
+    which must be journalled and error-attributed before the error
+    reaches the client."""
+    from repro.worm.device import WormDevice
+    from repro.worm.errors import VolumeSequenceError
+    from repro.worm.geometry import NULL_GEOMETRY
+
+    capacity = spec.param("capacity_blocks", 48)
+    made: list = []
+
+    def factory():
+        if made:
+            raise VolumeSequenceError(
+                "media library exhausted: no successor volume"
+            )
+        device = WormDevice(1024, capacity, NULL_GEOMETRY)
+        made.append(device)
+        return device
+
+    service = _make_service(
+        device_factory=factory, volume_capacity_blocks=capacity
+    )
+    _written, _fired, stopped = drive_login_log(
+        service,
+        spec.param("records", 1200),
+        stop_on=(VolumeSequenceError,),
+    )
+    if not stopped:
+        raise CampaignError(f"{spec.fault_id}: the volume never filled")
+    return FaultOutcome(
+        spec,
+        {
+            "events": _event_evidence(
+                service.journal.events(), {"volume.exhausted"}
+            ),
+            "alerts": None,
+            "recovery": None,
+            "traces": _trace_evidence(service, {"append", "append_many"}),
+        },
+    )
+
+
+_SCENARIOS = {
+    "torn_write": _scenario_torn_write,
+    "bit_rot": _scenario_bit_rot,
+    "mirror_divergence": _scenario_mirror_divergence,
+    "nvram_loss": _scenario_nvram_loss,
+    "crash_mid_batch": _scenario_crash_mid_batch,
+    "volume_exhaustion": _scenario_volume_exhaustion,
+}
+
+
+def run_spec(spec: FaultSpec) -> FaultOutcome:
+    """Stage and score one fault."""
+    return _SCENARIOS[spec.fault_class](spec)
+
+
+# --------------------------------------------------------------------- #
+# The campaign
+# --------------------------------------------------------------------- #
+
+
+def menu_specs(menu: str) -> tuple:
+    if menu == "small":
+        return small_menu()
+    if menu == "full":
+        return full_menu()
+    raise ValueError(f"unknown menu {menu!r} (expected 'small' or 'full')")
+
+
+def _control_check(workload: str) -> dict:
+    """Prove the stepped driver is invisible: same workload with and
+    without the harness, byte-identical sim-time counters."""
+    if workload == "login_log":
+        from repro.workloads.login_log import LoginLogWorkload
+
+        plain = _make_service()
+        LoginLogWorkload().drive(plain, CONTROL_LOGIN_RECORDS)
+        stepped = _make_service()
+        drive_login_log(stepped, CONTROL_LOGIN_RECORDS)
+    elif workload == "filetrace":
+        from repro.workloads.filetrace import FileTrace
+
+        plain = _make_service()
+        replay_filetrace(plain, FileTrace(file_count=CONTROL_FILETRACE_FILES))
+        stepped = _make_service()
+        drive_filetrace(stepped, FileTrace(file_count=CONTROL_FILETRACE_FILES))
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+    baseline = counters_fingerprint(plain)
+    harnessed = counters_fingerprint(stepped)
+    return {
+        "fingerprint": baseline,
+        "match": baseline == harnessed,
+        "workload": workload,
+    }
+
+
+def run_campaign(menu: str = "small") -> CampaignReport:
+    """Run every fault of ``menu`` plus the no-fault control drives."""
+    specs = menu_specs(menu)
+    outcomes = [run_spec(spec) for spec in specs]
+    control = {
+        workload: _control_check(workload)
+        for workload in sorted({spec.workload for spec in specs})
+    }
+    return CampaignReport(menu=menu, outcomes=outcomes, control=control)
+
+
+# --------------------------------------------------------------------- #
+# Rendering and diffing
+# --------------------------------------------------------------------- #
+
+
+def format_report(report_dict: dict) -> str:
+    """Human-readable rendering of a campaign artifact dict."""
+    campaign = report_dict["campaign"]
+    lines = [
+        "fault campaign: menu={menu} faults={faults} detected={detected} "
+        "coverage={coverage:.0%} passed={passed}".format(**campaign)
+    ]
+    if campaign["silent_misses"]:
+        lines.append(
+            "SILENT MISSES: " + ", ".join(campaign["silent_misses"])
+        )
+    for workload, entry in sorted(report_dict["control"].items()):
+        state = "ok" if entry["match"] else "MISMATCH"
+        lines.append(f"control {workload}: {state}")
+    lines.append("")
+    channels = campaign["channels"]
+    header = f"{'fault':<28} {'class':<20} {'workload':<10}" + "".join(
+        f" {name:<9}" for name in channels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in report_dict["matrix"]:
+        cells = ""
+        for name in channels:
+            hit = row["channels"].get(name) is not None
+            expected = name in row["spec"]["expected_channels"]
+            cells += " " + f"{'hit' if hit else ('MISS' if expected else '-'):<9}"
+        lines.append(
+            f"{row['fault_id']:<28} {row['fault_class']:<20} "
+            f"{row['workload']:<10}{cells}"
+        )
+    lines.append("")
+    lines.append("evidence:")
+    for row in report_dict["matrix"]:
+        for name in channels:
+            evidence = row["channels"].get(name)
+            if evidence is not None:
+                lines.append(f"  {row['fault_id']} {name}: {evidence}")
+    return "\n".join(lines)
+
+
+def diff_reports(old: dict, new: dict) -> list:
+    """Channel-level differences between two campaign artifacts."""
+    changes = []
+    old_rows = {row["fault_id"]: row for row in old["matrix"]}
+    new_rows = {row["fault_id"]: row for row in new["matrix"]}
+    for fault_id in sorted(old_rows.keys() - new_rows.keys()):
+        changes.append(f"- fault removed: {fault_id}")
+    for fault_id in sorted(new_rows.keys() - old_rows.keys()):
+        changes.append(f"+ fault added: {fault_id}")
+    for fault_id in sorted(old_rows.keys() & new_rows.keys()):
+        before, after = old_rows[fault_id], new_rows[fault_id]
+        for name in new["campaign"]["channels"]:
+            was = before["channels"].get(name) is not None
+            now = after["channels"].get(name) is not None
+            if was and not now:
+                changes.append(f"! {fault_id} lost channel {name}")
+            elif now and not was:
+                changes.append(f"+ {fault_id} gained channel {name}")
+    old_cov = old["campaign"]["coverage"]
+    new_cov = new["campaign"]["coverage"]
+    if old_cov != new_cov:
+        changes.append(f"! coverage {old_cov:.0%} -> {new_cov:.0%}")
+    return changes

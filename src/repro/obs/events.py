@@ -132,12 +132,17 @@ class EventJournal:
         Used while :class:`EventLog` persists the journal: the persistence
         appends cause device writes, which would otherwise journal the act
         of journalling.
+
+        Exception-safe: the pre-entry suppression depth is restored even
+        when the block raises, so emission can never stay silenced (or go
+        negative) after an aborted persist.
         """
-        self._suppressed += 1
+        prev = self._suppressed
+        self._suppressed = prev + 1
         try:
             yield
         finally:
-            self._suppressed -= 1
+            self._suppressed = prev
 
     # -- inspection ------------------------------------------------------
 

@@ -1,0 +1,157 @@
+"""The fault menu for deterministic fault campaigns.
+
+Section 2.3.2's failure catalog ("a failure may cause a portion of the log
+volume to be written with garbage"), the mirrored-volume option of Section
+5.1, and the NVRAM tail staging of Section 2.3.1 each name a way the log
+service can be damaged.  A :class:`FaultSpec` pins one such fault to a
+deterministic injection point — a simulated-clock trigger inside a
+canonical workload — so a campaign (:mod:`repro.obs.campaign`) can replay
+it byte-for-byte and score which observability channel caught it.
+
+Everything here is data: the campaign module owns the machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CHANNELS",
+    "EXPECTED_CHANNELS",
+    "FAULT_CLASSES",
+    "WORKLOADS",
+    "FaultSpec",
+    "full_menu",
+    "small_menu",
+]
+
+#: The observability channels a fault can surface in, in report order.
+CHANNELS: tuple[str, ...] = ("events", "alerts", "recovery", "traces")
+
+#: Workloads a fault can be injected into.
+WORKLOADS: tuple[str, ...] = ("login_log", "filetrace")
+
+#: The systematic fault classes of the campaign menu.
+FAULT_CLASSES: tuple[str, ...] = (
+    "torn_write",
+    "bit_rot",
+    "mirror_divergence",
+    "nvram_loss",
+    "crash_mid_batch",
+    "volume_exhaustion",
+)
+
+#: Which channels each fault class is documented to surface in (the
+#: "Detection coverage matrix" section of docs/OBSERVABILITY.md).  The
+#: campaign gate only requires >= 1 observed channel per fault; this map
+#: records the designed linkage.
+EXPECTED_CHANNELS: dict[str, tuple[str, ...]] = {
+    "torn_write": ("events", "alerts", "recovery"),
+    "bit_rot": ("events", "alerts", "recovery"),
+    "mirror_divergence": ("events", "alerts"),
+    "nvram_loss": ("events", "recovery"),
+    "crash_mid_batch": ("traces",),
+    "volume_exhaustion": ("events", "traces"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault, pinned to a deterministic injection point.
+
+    ``at_us`` is the simulated-clock trigger: the campaign driver fires the
+    injection before the first workload step at or past that instant
+    (``0`` means the fault is configured before the workload starts, e.g.
+    a device factory that runs out of media).  ``params`` are per-class
+    integer knobs, stored as sorted pairs so the spec hashes and encodes
+    deterministically.
+    """
+
+    fault_id: str
+    fault_class: str
+    workload: str
+    at_us: int
+    params: tuple[tuple[str, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.fault_class not in FAULT_CLASSES:
+            raise ValueError(f"unknown fault class {self.fault_class!r}")
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.at_us < 0:
+            raise ValueError("at_us must be >= 0")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    def param(self, name: str, default: int) -> int:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def expected_channels(self) -> tuple[str, ...]:
+        return EXPECTED_CHANNELS[self.fault_class]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "at_us": self.at_us,
+            "expected_channels": list(self.expected_channels),
+            "fault_class": self.fault_class,
+            "fault_id": self.fault_id,
+            "params": {name: value for name, value in self.params},
+            "workload": self.workload,
+        }
+
+
+def small_menu() -> tuple[FaultSpec, ...]:
+    """The CI smoke menu: one fault per channel family, fast to run."""
+    return (
+        FaultSpec(
+            fault_id="torn-write-tail",
+            fault_class="torn_write",
+            workload="login_log",
+            at_us=150_000,
+            params=(("records", 300), ("crash_after_writes", 1)),
+        ),
+        FaultSpec(
+            fault_id="bit-rot-mid-volume",
+            fault_class="bit_rot",
+            workload="filetrace",
+            at_us=30_000_000,
+            params=(("files", 60),),
+        ),
+        FaultSpec(
+            fault_id="crash-mid-batch",
+            fault_class="crash_mid_batch",
+            workload="login_log",
+            at_us=200_000,
+            params=(("records", 200), ("crash_after_writes", 2)),
+        ),
+    )
+
+
+def full_menu() -> tuple[FaultSpec, ...]:
+    """Every fault class in the catalog, one deterministic instance each."""
+    return small_menu() + (
+        FaultSpec(
+            fault_id="mirror-replica-divergence",
+            fault_class="mirror_divergence",
+            workload="login_log",
+            at_us=250_000,
+            params=(("records", 300), ("replicas", 2)),
+        ),
+        FaultSpec(
+            fault_id="nvram-tail-loss",
+            fault_class="nvram_loss",
+            workload="login_log",
+            at_us=180_000,
+            params=(("records", 240),),
+        ),
+        FaultSpec(
+            fault_id="volume-sequence-exhausted",
+            fault_class="volume_exhaustion",
+            workload="login_log",
+            at_us=0,
+            params=(("records", 1200), ("capacity_blocks", 48)),
+        ),
+    )

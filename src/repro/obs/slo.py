@@ -359,6 +359,20 @@ def default_ruleset() -> list["ThresholdRule | RatioRule | ModelDeltaRule"]:
             0,
             severity="critical",
         ),
+        ThresholdRule(
+            "mirror_divergence",
+            "clio_mirror_divergence_total",
+            ">",
+            0,
+            severity="critical",
+        ),
+        ThresholdRule(
+            "corrupt_records_present",
+            "clio_reader_corrupt_records_found_total",
+            ">",
+            0,
+            severity="critical",
+        ),
         RatioRule(
             "forced_padding_overhead",
             "clio_writer_forced_padding_bytes_total",

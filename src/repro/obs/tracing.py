@@ -392,12 +392,17 @@ class SpanTracer:
         The TraceLog persists traces *through the service itself* (the
         self-hosting move); suppression keeps that bookkeeping from
         generating feedback traces of its own.
+
+        Exception-safe: the pre-entry suppression depth is restored even
+        when the block raises, so tracing can never stay silenced (or go
+        negative) after an aborted persist.
         """
-        self._suppressed += 1
+        prev = self._suppressed
+        self._suppressed = prev + 1
         try:
             yield
         finally:
-            self._suppressed -= 1
+            self._suppressed = prev
 
     def context(self) -> TraceContext | None:
         """The causal identity at this point: the innermost open span's,

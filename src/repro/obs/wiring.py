@@ -175,6 +175,7 @@ def wire_service(service: "LogService") -> Instruments:
             "block_accesses",
             "device_reads",
             "corrupt_blocks_found",
+            "corrupt_records_found",
             "torn_entries_skipped",
             "blocks_parsed",
             "locate_memo_hits",
@@ -238,17 +239,34 @@ def wire_service(service: "LogService") -> Instruments:
         "clio_corrupt_blocks_known",
         "Locations in the known-corrupt set (Section 2.3.2).",
     )
+    mirror_divergence = registry.counter(
+        "clio_mirror_divergence_total",
+        "Mirror divergence incidents across all volumes: read repairs plus "
+        "replicas dropped on write failure (Section 5.1, footnote 11).",
+    )
+    mirror_healthy = registry.gauge(
+        "clio_mirror_healthy_replicas",
+        "Healthy replicas backing each mirrored volume.",
+        labelnames=("volume",),
+    )
 
     def sample(_registry: MetricsRegistry) -> None:
+        divergence_total = 0
         for index, volume in enumerate(store.sequence.volumes):
             label = str(index)
-            stats = volume.device.stats
+            device = volume.device
+            stats = device.stats
             for field, counter in device_counters.items():
                 counter.labels(volume=label).set_total(getattr(stats, field))
             device_busy.labels(volume=label).set_total(stats.busy_ms)
-            device_written.labels(volume=label).set(
-                volume.device.blocks_written
-            )
+            device_written.labels(volume=label).set(device.blocks_written)
+            divergences = getattr(device, "divergences", None)
+            healthy = getattr(device, "healthy_replicas", None)
+            if isinstance(divergences, int):
+                divergence_total += divergences
+            if isinstance(healthy, int):
+                mirror_healthy.labels(volume=label).set(healthy)
+        mirror_divergence.set_total(divergence_total)
 
         cache_stats = store.cache.stats
         for field, counter in cache_counters.items():

@@ -54,7 +54,16 @@ def corrupt_range(
     count: int,
     rng: random.Random | None = None,
 ) -> list[int]:
-    """Garbage ``count`` consecutive blocks starting at ``first_block``."""
+    """Garbage ``count`` consecutive blocks starting at ``first_block``.
+
+    The whole span is validated before any block is touched, so a range
+    that runs off the end of the device corrupts nothing (all-or-nothing
+    injection); a non-positive ``count`` is a no-op.
+    """
+    if count <= 0:
+        return []
+    device._check_range(first_block)
+    device._check_range(first_block + count - 1)
     rng = rng or random.Random(0)
     corrupted: list[int] = []
     for block in range(first_block, first_block + count):
@@ -176,6 +185,12 @@ class CrashingWormDevice:
                     for _ in range(self._inner.block_size - cut)
                 )
                 self._inner._raw_overwrite(block, data[:cut] + garbage)
+                if block == self._inner._next_writable:
+                    # The burn physically consumed the block: on write-once
+                    # media a torn sector is still a used sector, so the
+                    # append point moves past it.  Recovery will find the
+                    # garbage inside the written area and must invalidate it.
+                    self._inner._next_writable = block + 1
             raise DeviceCrashed(
                 f"injected crash on write to block {block}"
                 + (" (torn)" if self._torn else " (lost)")

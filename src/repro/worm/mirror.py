@@ -19,7 +19,7 @@ Semantics:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.worm.device import DeviceStats, WormDevice
 from repro.worm.errors import (
@@ -62,6 +62,12 @@ class MirroredWormDevice:
         self._failed: list[WormDevice] = []
         #: (replica index, block) pairs where a read found divergence.
         self.read_repairs: list[tuple[int, int]] = []
+        #: Total divergence incidents (read repairs + dropped replicas).
+        self.divergences: int = 0
+        #: Standard device event sink — same contract as WormDevice.event_sink.
+        self.event_sink: Callable[[str, int], None] | None = None
+        #: Divergence event sink: (event, replica_index, block).
+        self.divergence_sink: Callable[[str, int, int], None] | None = None
 
     # -- passthrough geometry ----------------------------------------------
 
@@ -82,6 +88,10 @@ class MirroredWormDevice:
     @property
     def healthy_replicas(self) -> int:
         return len(self._replicas)
+
+    @property
+    def dropped_replicas(self) -> int:
+        return len(self._failed)
 
     @property
     def next_writable(self) -> int:
@@ -112,9 +122,13 @@ class MirroredWormDevice:
 
     # -- writes ------------------------------------------------------------
 
-    def _drop_replica(self, replica: WormDevice) -> None:
+    def _drop_replica(self, replica: WormDevice, block: int) -> None:
+        index = self._replicas.index(replica)
         self._replicas.remove(replica)
         self._failed.append(replica)
+        self.divergences += 1
+        if self.divergence_sink is not None:
+            self.divergence_sink("replica_dropped", index, block)
         if not self._replicas:
             raise MirrorFailure("all replicas have failed")
 
@@ -127,9 +141,11 @@ class MirroredWormDevice:
             except CorruptBlockError:
                 # This replica's medium is damaged at this address; the
                 # mirror continues on the others.
-                self._drop_replica(replica)
+                self._drop_replica(replica, block)
         if not survivors_wrote:
             raise MirrorFailure(f"no replica could write block {block}")
+        if self.event_sink is not None:
+            self.event_sink("write", block)
 
     def append_block(self, data: bytes) -> int:
         block = self.next_writable
@@ -139,6 +155,8 @@ class MirroredWormDevice:
     def invalidate(self, block: int) -> None:
         for replica in list(self._replicas):
             replica.invalidate(block)
+        if self.event_sink is not None:
+            self.event_sink("invalidate", block)
 
     # -- reads ---------------------------------------------------------------
 
@@ -146,10 +164,17 @@ class MirroredWormDevice:
         last_error: Exception | None = None
         for index, replica in enumerate(self._replicas):
             try:
-                return replica.read_block(block)
+                data = replica.read_block(block)
             except (UnwrittenBlockError, InvalidatedBlockError, CorruptBlockError) as exc:
                 self.read_repairs.append((index, block))
+                self.divergences += 1
+                if self.divergence_sink is not None:
+                    self.divergence_sink("read_repair", index, block)
                 last_error = exc
+            else:
+                if self.event_sink is not None:
+                    self.event_sink("read", block)
+                return data
         if last_error is not None:
             raise last_error
         raise MirrorFailure("all replicas have failed")

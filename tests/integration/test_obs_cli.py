@@ -359,3 +359,77 @@ class TestPerfCommand:
         ) == 2
         err = capsys.readouterr().err
         assert "locate.locates" in err
+
+
+class TestEventsFilters:
+    def test_since_filters_early_events(self, store, capsys):
+        full = run(capsys, "events", store)
+        filtered = run(capsys, "events", store, "--since", "1")
+        assert len(filtered.splitlines()) < len(full.splitlines())
+        # Every surviving line carries a timestamp >= 1 µs.
+        for line in filtered.splitlines():
+            if line.startswith("("):
+                continue  # ring-drop footer
+            stamp = int(re.search(r"\[\s*(\d+)us\]", line).group(1))
+            assert stamp >= 1
+
+    def test_type_is_an_alias_for_kind(self, store, capsys):
+        by_kind = run(capsys, "events", store, "--kind", "recovery.complete")
+        by_type = run(capsys, "events", store, "--type", "recovery.complete")
+        assert by_kind == by_type
+        assert "recovery.complete" in by_kind
+        assert "recovery.find_tail" not in by_kind
+
+
+class TestCampaignCommand:
+    def test_run_small_menu_passes_and_writes_artifact(self, tmp_path, capsys):
+        out_file = str(tmp_path / "campaign.json")
+        capsys.readouterr()
+        assert main(["campaign", "run", "--menu", "small", "--out", out_file]) == 0
+        out = capsys.readouterr().out
+        assert "coverage=100%" in out
+        assert "passed=True" in out
+        with open(out_file) as handle:
+            record = json.load(handle)
+        assert record["campaign"]["silent_misses"] == []
+
+    def test_run_check_determinism_exits_zero(self, capsys):
+        capsys.readouterr()
+        assert (
+            main(["campaign", "run", "--menu", "small", "--check-determinism"])
+            == 0
+        )
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_unknown_menu_exits_one(self, capsys):
+        assert main(["campaign", "run", "--menu", "enormous"]) == 1
+
+    def test_report_rerenders_artifact(self, tmp_path, capsys):
+        out_file = str(tmp_path / "campaign.json")
+        assert main(["campaign", "run", "--menu", "small", "--out", out_file]) == 0
+        out = run(capsys, "campaign", "report", out_file)
+        assert "fault campaign: menu=small" in out
+        assert "evidence:" in out
+
+    def test_diff_self_exits_zero(self, tmp_path, capsys):
+        out_file = str(tmp_path / "campaign.json")
+        assert main(["campaign", "run", "--menu", "small", "--out", out_file]) == 0
+        out = run(capsys, "campaign", "diff", out_file, out_file)
+        assert "no channel-level differences" in out
+
+    def test_diff_lost_channel_exits_two(self, tmp_path, capsys):
+        old_file = str(tmp_path / "old.json")
+        assert main(["campaign", "run", "--menu", "small", "--out", old_file]) == 0
+        with open(old_file) as handle:
+            record = json.load(handle)
+        row = record["matrix"][0]
+        hit = next(
+            name
+            for name, evidence in row["channels"].items()
+            if evidence is not None
+        )
+        row["channels"][hit] = None
+        new_file = str(tmp_path / "new.json")
+        with open(new_file, "w") as handle:
+            json.dump(record, handle, sort_keys=True)
+        assert main(["campaign", "diff", old_file, new_file]) == 2

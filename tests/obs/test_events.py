@@ -1,6 +1,8 @@
 """The structured event journal: ring semantics, emission points,
 log-file persistence, and the crash flight recorder."""
 
+import pytest
+
 from repro.core import LogService
 from repro.obs.events import (
     NULL_JOURNAL,
@@ -74,6 +76,25 @@ class TestEventJournal:
             with journal.suppress():  # nests
                 journal.emit("deeper")
             journal.emit("still hidden")
+        journal.emit("visible")
+        assert [e.kind for e in journal.events()] == ["visible"]
+
+    def test_suppress_restores_emission_after_exception(self):
+        journal = EventJournal(SimClock())
+        with pytest.raises(RuntimeError):
+            with journal.suppress():
+                raise RuntimeError("boom")
+        journal.emit("after")
+        assert [e.kind for e in journal.events()] == ["after"]
+
+    def test_nested_suppress_with_exception_keeps_depth_consistent(self):
+        journal = EventJournal(SimClock())
+        with journal.suppress():
+            with pytest.raises(ValueError):
+                with journal.suppress():
+                    raise ValueError("inner")
+            # Inner exit must not unwind the outer suppression.
+            assert journal.emit("still hidden") is None
         journal.emit("visible")
         assert [e.kind for e in journal.events()] == ["visible"]
 

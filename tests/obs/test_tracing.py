@@ -1,6 +1,8 @@
 """Tests for sim-time span tracing: nesting, bounds, determinism, and the
 span-tree/counter cross-check for one append plus one cold read."""
 
+import pytest
+
 from repro.core import LogService
 from repro.obs import NULL_TRACER, Span, SpanTracer, TraceContext, format_span_tree
 
@@ -164,6 +166,29 @@ class TestCausalIdentity:
         assert outer.costs is None
         assert inner.trace_id is None  # the shared inert span
         assert tracer.recent() == [outer]
+
+    def test_suppress_restores_tracing_after_exception(self):
+        tracer = SpanTracer(FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.suppress():
+                raise RuntimeError("boom")
+        with tracer.span("append") as sp:
+            pass
+        assert tracer.recent() == [sp]
+
+    def test_nested_suppress_with_exception_keeps_depth_consistent(self):
+        tracer = SpanTracer(FakeClock())
+        with tracer.suppress():
+            with pytest.raises(ValueError):
+                with tracer.suppress():
+                    raise ValueError("inner")
+            # Inner exit must not unwind the outer suppression.
+            with tracer.span("hidden"):
+                pass
+        assert tracer.recent() == []
+        with tracer.span("visible") as sp:
+            pass
+        assert tracer.recent() == [sp]
 
     def test_on_finish_sees_roots_only(self):
         tracer = SpanTracer(FakeClock())

@@ -159,3 +159,75 @@ class TestMirrorUnderService:
         got = [e.data for e in log.entries()]
         assert got[0] == b"before"
         assert len(got) == 21
+
+
+class TestMirrorDivergenceObservability:
+    def test_read_repair_counts_and_reports(self):
+        mirror, replicas = make_mirror(k=2, capacity=16)
+        seen = []
+        mirror.divergence_sink = lambda event, replica, block: seen.append(
+            (event, replica, block)
+        )
+        mirror.append_block(b"\x05" * BS)
+        del replicas[0]._blocks[0]
+        assert mirror.read_block(0) == b"\x05" * BS
+        assert mirror.divergences == 1
+        assert seen == [("read_repair", 0, 0)]
+
+    def test_replica_drop_counts_and_reports(self):
+        mirror, replicas = make_mirror(k=2, capacity=16)
+        seen = []
+        mirror.divergence_sink = lambda event, replica, block: seen.append(
+            (event, replica, block)
+        )
+        mirror.append_block(b"\x01" * BS)
+        corrupt_block(replicas[0], 1)
+        mirror.append_block(b"\x02" * BS)
+        assert mirror.divergences == 1
+        assert mirror.dropped_replicas == 1
+        assert seen == [("replica_dropped", 0, 1)]
+
+    def test_healthy_mirror_never_diverges(self):
+        mirror, _ = make_mirror(k=3, capacity=16)
+        for i in range(5):
+            mirror.append_block(bytes([i]) * BS)
+            mirror.read_block(i)
+        assert mirror.divergences == 0
+        assert mirror.read_repairs == []
+        assert mirror.dropped_replicas == 0
+
+    def test_service_journal_records_divergence_events(self):
+        """The store binds the mirror's divergence sink at creation, so
+        read repairs surface as ``mirror.read_repair`` journal events and
+        in the ``clio_mirror_divergence_total`` counter."""
+        mirror = MirroredWormDevice(
+            [WormDevice(block_size=256, capacity_blocks=512) for _ in range(2)]
+        )
+        service = LogService.create(
+            block_size=256,
+            degree_n=4,
+            volume_capacity_blocks=512,
+            device_factory=lambda: mirror,
+            observability=True,
+        )
+        log = service.create_log_file("/app")
+        payloads = [f"payload-{i}".encode() * 4 for i in range(20)]
+        for payload in payloads:
+            log.append(payload, force=True)
+        service.sync()
+        assert mirror.blocks_written > 2  # header + burned data blocks
+        del mirror._replicas[0]._blocks[1]  # first burned data block
+        service.store.cache.clear()
+        assert [e.data for e in log.entries()] == payloads
+        kinds = [e.kind for e in service.journal.events()]
+        assert "mirror.read_repair" in kinds
+        event = next(
+            e
+            for e in service.journal.events()
+            if e.kind == "mirror.read_repair"
+        )
+        assert event.attr("volume") == 0
+        assert event.attr("replica") == 0
+        from repro.obs.slo import metric_value
+
+        assert metric_value(service, "clio_mirror_divergence_total") == 1
