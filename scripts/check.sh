@@ -9,6 +9,15 @@ cd "$(dirname "$0")/.."
 echo "== clio lint src/repro =="
 PYTHONPATH=src python -m repro lint src/repro
 
+echo "== concurrency gate + report byte-determinism =="
+PYTHONPATH=src python -m repro lint src/repro \
+    --concurrency-report /tmp/clio_concurrency_a.json --concurrency-gate \
+    > /dev/null
+PYTHONPATH=src python -m repro lint src/repro \
+    --concurrency-report /tmp/clio_concurrency_b.json > /dev/null
+cmp /tmp/clio_concurrency_a.json /tmp/clio_concurrency_b.json
+echo "concurrency ok: gate clean, report deterministic"
+
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
 
@@ -27,8 +36,13 @@ PYTHONPATH=src python -m repro perf compare /tmp/clio_perf_smoke.json \
     --baseline benchmarks/baselines/wallclock_baseline.json
 
 if python -c "import mypy" >/dev/null 2>&1; then
-    echo "== mypy --strict src/repro/worm src/repro/vsystem src/repro/obs =="
-    PYTHONPATH=src python -m mypy --strict src/repro/worm src/repro/vsystem src/repro/obs
+    echo "== mypy --strict (worm + vsystem + obs + annotated core) =="
+    PYTHONPATH=src python -m mypy --strict \
+        src/repro/worm src/repro/vsystem src/repro/obs \
+        src/repro/core/ids.py src/repro/core/naming.py \
+        src/repro/core/entry.py src/repro/core/block.py \
+        src/repro/core/catalog.py src/repro/core/sublog.py \
+        src/repro/core/timeindex.py src/repro/core/recovery.py
 else
     echo "== mypy not installed; skipping type check =="
 fi

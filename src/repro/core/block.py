@@ -150,7 +150,7 @@ class BlockBuilder:
     timestamp from a block in isolation).
     """
 
-    def __init__(self, block_size: int, cont_in: bool = False):
+    def __init__(self, block_size: int, cont_in: bool = False) -> None:
         if block_size < MIN_BLOCK_SIZE:
             raise ValueError(
                 f"block_size must be at least {MIN_BLOCK_SIZE}, got {block_size}"

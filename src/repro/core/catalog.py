@@ -153,7 +153,7 @@ class Catalog:
     represented by any catalog record.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         root = LogFileInfo(
             logfile_id=VOLUME_SEQUENCE_ID,
             name="",

@@ -74,7 +74,7 @@ class LogEntry:
     timestamp: int | None = None
     client_seq: int | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         validate_logfile_id(self.logfile_id)
         if self.client_seq is not None and self.timestamp is None:
             raise ValueError(

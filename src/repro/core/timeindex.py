@@ -25,7 +25,7 @@ __all__ = ["TimeIndex"]
 class TimeIndex:
     """Timestamp search over one mounted volume sequence."""
 
-    def __init__(self, reader: LogReader):
+    def __init__(self, reader: LogReader) -> None:
         self.reader = reader
 
     # -- primitives -----------------------------------------------------------

@@ -8,9 +8,11 @@ nonexistent target).
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
+from repro.lint.base import ProjectRule
 from repro.lint.baseline import (
     DEFAULT_BASELINE_NAME,
     load_baseline,
@@ -67,6 +69,64 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "lint only files changed vs git HEAD (plus untracked files) "
+            "under the requested paths; whole-program rules are skipped "
+            "(they need the full tree), so run a full pass before merging"
+        ),
+    )
+    parser.add_argument(
+        "--concurrency-report",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the byte-deterministic shared-state inventory "
+            "(concurrency_report.json) to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--concurrency-gate",
+        action="store_true",
+        help=(
+            "exit 2 if the inventory contains unannotated multi-writer "
+            "state or stale '# concurrency: multi-writer' annotations"
+        ),
+    )
+
+
+def _changed_paths(root: Path, requested: list[Path]) -> list[Path]:
+    """Python files changed vs HEAD (tracked) or untracked, restricted to
+    the requested paths.  Raises on git failure (not a repo, no git)."""
+    names: set[str] = set()
+    for argv in (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            argv,
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        names.update(line.strip() for line in proc.stdout.splitlines())
+
+    scopes = [p.resolve() for p in requested]
+    selected: list[Path] = []
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        path = (root / name).resolve()
+        if not path.is_file():
+            continue  # deleted in the working tree
+        for scope in scopes:
+            if path == scope or scope in path.parents:
+                selected.append(path)
+                break
+    return selected
 
 
 def run(args: argparse.Namespace) -> int:
@@ -87,7 +147,36 @@ def run(args: argparse.Namespace) -> int:
             print(f"clio lint: no such path: {path}", file=sys.stderr)
         return EXIT_ERROR
 
+    if args.changed:
+        try:
+            paths = _changed_paths(root, paths)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"clio lint: --changed needs git: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        if not paths:
+            print("0 finding(s): no changed Python files")
+            return EXIT_CLEAN
+        # Whole-program rules over a partial file set would misclassify
+        # (a writer outside the selection looks like it does not exist).
+        rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+
     result = run_lint(root, paths, rules)
+
+    if args.concurrency_report or args.concurrency_gate:
+        from repro.lint.concurrency import build_inventory, gate_violations
+        from repro.lint.concurrency import render_report as render_concurrency
+
+        assert result.project is not None
+        if args.concurrency_report:
+            Path(args.concurrency_report).write_text(
+                render_concurrency(result.project), encoding="utf-8"
+            )
+        if args.concurrency_gate:
+            problems = gate_violations(build_inventory(result.project))
+            if problems:
+                for problem in problems:
+                    print(f"clio lint: concurrency gate: {problem}", file=sys.stderr)
+                return EXIT_ERROR
 
     baseline_path = (
         Path(args.baseline)

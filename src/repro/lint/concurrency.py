@@ -1,0 +1,905 @@
+"""The shared-mutable-state inventory behind the concurrency-readiness rules.
+
+ROADMAP item 1 rebuilds ``vsystem.ipc``/``service`` around a deterministic
+concurrent scheduler.  Before that refactor can be attempted, every piece
+of state that two interleaved requests could both touch must be *named*:
+which attributes of :class:`~repro.core.store.LogStore`,
+:class:`~repro.core.writer.TailWriter`, the device classes, and friends
+are immutable after construction, which have a single writing class, and
+which are already mutated from several places.  This module builds that
+inventory statically:
+
+* **Phase A** (:func:`build_registry`) walks every class defined under
+  ``core/``, ``vsystem/`` and ``worm/`` and records its attributes
+  (dataclass fields and ``self.X = ...`` assignments), their declared
+  types, method return types, and base classes.
+* **Phase B** (:func:`build_inventory`) walks every function in those
+  packages with a light type-propagation environment (parameter
+  annotations, constructor calls, attribute chains through the registry)
+  and records every read and write site against the owning class.
+
+Each attribute is then classified **read-only** (no writes outside
+construction), **single-writer** (exactly one writing class/function at
+runtime) or **multi-writer** (several).  Multi-writer state is the
+hazard the concurrency refactor must redesign around; it must carry a
+``# concurrency: multi-writer`` annotation on its declaration line, and
+the ``clio lint --concurrency-gate`` CI gate exits 2 when new
+multi-writer state appears unannotated or an annotation goes stale.
+
+The whole inventory serializes to a byte-deterministic
+``concurrency_report.json`` (sorted keys, no timestamps, content a pure
+function of the AST) — the worklist the multi-client PR consumes.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lint.base import FileContext, ProjectContext
+from repro.lint.callgraph import MUTATOR_METHODS
+
+__all__ = [
+    "TypeRef",
+    "AttrRecord",
+    "ClassRecord",
+    "Inventory",
+    "Site",
+    "build_registry",
+    "build_inventory",
+    "render_typeref",
+    "in_scope",
+    "gate_violations",
+    "render_report",
+    "iter_functions",
+    "function_env",
+    "resolve_expr",
+    "parse_annotation",
+    "shallow_walk",
+    "ANNOTATION_RE",
+    "READ_ONLY",
+    "SINGLE_WRITER",
+    "MULTI_WRITER",
+]
+
+#: ``# concurrency: multi-writer — reason`` on an attribute's declaration
+#: line acknowledges the hazard; the gate requires it for every
+#: multi-writer attribute and rejects stale ones.
+ANNOTATION_RE = re.compile(r"#\s*concurrency:\s*multi-writer")
+
+READ_ONLY = "read-only"
+SINGLE_WRITER = "single-writer"
+MULTI_WRITER = "multi-writer"
+
+#: A resolved static type: ``("inst", class_name)`` or a container of one.
+TypeRef = tuple[str, object]
+
+#: One read or write location: (unit, qualname, module, lineno, kind).
+Site = tuple[str, str, str, int, str]
+
+#: Subscript container heads mapping to an element TypeRef.
+_LIST_HEADS = frozenset({"list", "List", "deque", "Deque", "tuple", "Tuple"})
+_SET_HEADS = frozenset({"set", "Set", "frozenset", "FrozenSet"})
+_DICT_HEADS = frozenset({"dict", "Dict", "defaultdict", "DefaultDict"})
+
+#: Base/class name suffixes marking exception types (excluded from the
+#: inventory — an in-flight exception is request-local, not shared state).
+_EXCEPTION_SUFFIXES = ("Error", "Exception", "Violation", "Warning", "Interrupt")
+
+#: Constructor-style methods: writes from these count as construction,
+#: not as runtime mutation (factories assemble the object they return).
+_INIT_METHODS = frozenset({"__init__", "__post_init__"})
+
+
+def parse_annotation(node: ast.expr | None) -> TypeRef | None:
+    """A :data:`TypeRef` for an annotation expression, or None."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return ("inst", node.id)
+    if isinstance(node, ast.Attribute):
+        return ("inst", node.attr)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return parse_annotation(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = parse_annotation(node.left)
+        right = parse_annotation(node.right)
+        if left == ("inst", "None"):
+            return right
+        if right == ("inst", "None"):
+            return left
+        return left or right
+    if isinstance(node, ast.Subscript):
+        head = (
+            node.value.id
+            if isinstance(node.value, ast.Name)
+            else node.value.attr if isinstance(node.value, ast.Attribute) else ""
+        )
+        inner = node.slice
+        if head == "Optional":
+            return parse_annotation(inner)
+        if head in _LIST_HEADS:
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                return ("list", parse_annotation(inner.elts[0]))
+            return ("list", parse_annotation(inner))
+        if head in _SET_HEADS:
+            return ("set", parse_annotation(inner))
+        if head in _DICT_HEADS and isinstance(inner, ast.Tuple):
+            if len(inner.elts) == 2:
+                return ("dict", parse_annotation(inner.elts[1]))
+        return None
+    return None
+
+
+def render_typeref(ref: TypeRef | None) -> str | None:
+    """A compact human string for the report (``list[EntrymapState]``)."""
+    if ref is None:
+        return None
+    kind, inner = ref
+    if kind == "inst":
+        return str(inner)
+    return f"{kind}[{render_typeref(inner) or '?'}]"  # type: ignore[arg-type]
+
+
+@dataclass
+class AttrRecord:
+    """One attribute of one inventoried class."""
+
+    name: str
+    owner: str
+    declared_module: str
+    declared_line: int
+    type: TypeRef | None = None
+    annotated: bool = False
+    init_sites: list[Site] = field(default_factory=list)
+    write_sites: list[Site] = field(default_factory=list)
+    read_units: set[str] = field(default_factory=set)
+
+    @property
+    def writer_units(self) -> set[str]:
+        return {site[0] for site in self.write_sites}
+
+    @property
+    def classification(self) -> str:
+        units = self.writer_units
+        if not units:
+            return READ_ONLY
+        if len(units) == 1:
+            return SINGLE_WRITER
+        return MULTI_WRITER
+
+
+@dataclass
+class ClassRecord:
+    """One class defined in the scoped packages."""
+
+    name: str
+    module: str
+    lineno: int
+    bases: list[str] = field(default_factory=list)
+    frozen: bool = False
+    attrs: dict[str, AttrRecord] = field(default_factory=dict)
+    #: method/property name -> return TypeRef (None when unannotated).
+    method_returns: dict[str, TypeRef | None] = field(default_factory=dict)
+    classmethods: set[str] = field(default_factory=set)
+
+
+@dataclass
+class Inventory:
+    """The whole-program shared-state inventory."""
+
+    registry: dict[str, ClassRecord] = field(default_factory=dict)
+    #: relpaths of every file the inventory pass analyzed.
+    scope: list[str] = field(default_factory=list)
+
+    def lookup_attr(self, class_name: str, attr: str) -> AttrRecord | None:
+        """Resolve ``attr`` on ``class_name``, walking base classes."""
+        seen: set[str] = set()
+        queue = [class_name]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            record = self.registry.get(name)
+            if record is None:
+                continue
+            if attr in record.attrs:
+                return record.attrs[attr]
+            queue.extend(record.bases)
+        return None
+
+    def has_method(self, class_name: str, method: str) -> bool:
+        """True when ``class_name`` (or an ancestor) defines ``method``."""
+        seen: set[str] = set()
+        queue = [class_name]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            record = self.registry.get(name)
+            if record is None:
+                continue
+            if method in record.method_returns:
+                return True
+            queue.extend(record.bases)
+        return False
+
+    def is_ancestor(self, ancestor: str, class_name: str) -> bool:
+        """True when ``ancestor`` appears in ``class_name``'s base chain."""
+        seen: set[str] = set()
+        queue = list(self.registry.get(class_name, ClassRecord("", "", 0)).bases)
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            if name == ancestor:
+                return True
+            queue.extend(self.registry.get(name, ClassRecord("", "", 0)).bases)
+        return False
+
+    def lookup_method_return(
+        self, class_name: str, method: str
+    ) -> TypeRef | None:
+        seen: set[str] = set()
+        queue = [class_name]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            record = self.registry.get(name)
+            if record is None:
+                continue
+            if method in record.method_returns:
+                return record.method_returns[method]
+            queue.extend(record.bases)
+        return None
+
+    def shared_attrs(self) -> list[AttrRecord]:
+        """Every attribute with at least one runtime writer, sorted."""
+        out = [
+            attr
+            for record in self.registry.values()
+            for attr in record.attrs.values()
+            if attr.classification != READ_ONLY
+        ]
+        out.sort(key=lambda a: (a.owner, a.name))
+        return out
+
+
+def in_scope(ctx: FileContext) -> bool:
+    """True for the packages the inventory covers (the service stack)."""
+    return any(
+        ctx.in_package(pkg) or ctx.in_package("repro", pkg)
+        for pkg in ("core", "vsystem", "worm")
+    )
+
+
+def _is_exception_class(node: ast.ClassDef) -> bool:
+    names = [node.name]
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return any(name.endswith(_EXCEPTION_SUFFIXES) for name in names)
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            func = decorator.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if name == "dataclass":
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "frozen"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return True
+    return False
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name):
+            names.add(decorator.id)
+        elif isinstance(decorator, ast.Attribute):
+            names.add(decorator.attr)
+        elif isinstance(decorator, ast.Call):
+            func = decorator.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                names.add(func.attr)
+    return names
+
+
+def shallow_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Like :func:`ast.walk` but does not descend into nested class or
+    function definitions (they are analyzed as their own scopes)."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
+
+
+def _param_types(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, TypeRef | None]:
+    types: dict[str, TypeRef | None] = {}
+    args = node.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        types[arg.arg] = parse_annotation(arg.annotation)
+    return types
+
+
+def build_registry(project: ProjectContext) -> Inventory:
+    """Phase A: classes, attributes, declared types, method returns."""
+    inventory = Inventory()
+    for ctx in project.files:
+        if not in_scope(ctx):
+            continue
+        inventory.scope.append(ctx.relpath)
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _is_exception_class(node):
+                continue
+            record = ClassRecord(
+                name=node.name,
+                module=ctx.relpath,
+                lineno=node.lineno,
+                frozen=_is_frozen_dataclass(node),
+            )
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    record.bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    record.bases.append(base.attr)
+            _collect_class_body(ctx, node, record)
+            # First definition of a name wins; a duplicate class name in
+            # another module is skipped (name-based resolution cannot
+            # distinguish them, and the scoped packages define each class
+            # once).
+            inventory.registry.setdefault(node.name, record)
+    inventory.scope.sort()
+    return inventory
+
+
+def _collect_class_body(
+    ctx: FileContext, node: ast.ClassDef, record: ClassRecord
+) -> None:
+    """Attributes and method signatures from one class body."""
+    # Dataclass-style annotated fields.
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            anno = stmt.annotation
+            head = (
+                anno.value.id
+                if isinstance(anno, ast.Subscript)
+                and isinstance(anno.value, ast.Name)
+                else anno.id if isinstance(anno, ast.Name) else ""
+            )
+            if head == "ClassVar":
+                continue
+            record.attrs[stmt.target.id] = AttrRecord(
+                name=stmt.target.id,
+                owner=record.name,
+                declared_module=ctx.relpath,
+                declared_line=stmt.lineno,
+                type=parse_annotation(anno),
+                annotated=bool(
+                    ANNOTATION_RE.search(ctx.line_text(stmt.lineno))
+                ),
+            )
+
+    # Methods: return types, classmethods, properties.
+    for stmt in node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        decorators = _decorator_names(stmt)
+        if "classmethod" in decorators:
+            record.classmethods.add(stmt.name)
+        returns = parse_annotation(stmt.returns)
+        if "property" in decorators or "cached_property" in decorators:
+            record.method_returns[stmt.name] = returns
+        else:
+            record.method_returns.setdefault(stmt.name, returns)
+
+        # ``self.X = ...`` declarations.
+        params = _param_types(stmt)
+        in_init = stmt.name in _INIT_METHODS
+        for child in shallow_walk(stmt):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(child, ast.Assign):
+                value = child.value
+                for candidate in child.targets:
+                    if (
+                        isinstance(candidate, ast.Attribute)
+                        and isinstance(candidate.value, ast.Name)
+                        and candidate.value.id == "self"
+                    ):
+                        target = candidate
+                        break
+            elif isinstance(child, ast.AnnAssign):
+                # AugAssign is deliberately not a declaration source: a
+                # ``self.x += 1`` without a plain assignment elsewhere
+                # would be a runtime AttributeError unless the attribute
+                # is inherited — in which case minting a shadow record
+                # here would hide the superclass owner.
+                candidate = child.target
+                if (
+                    isinstance(candidate, ast.Attribute)
+                    and isinstance(candidate.value, ast.Name)
+                    and candidate.value.id == "self"
+                ):
+                    target = candidate
+                    value = child.value
+            if target is None or not isinstance(target, ast.Attribute):
+                continue
+            inferred: TypeRef | None = None
+            if isinstance(child, ast.AnnAssign):
+                inferred = parse_annotation(child.annotation)
+            elif isinstance(value, ast.Name):
+                inferred = params.get(value.id)
+            elif isinstance(value, ast.Call) and isinstance(
+                value.func, ast.Name
+            ):
+                inferred = ("inst", value.func.id)
+            existing = record.attrs.get(target.attr)
+            if existing is None:
+                record.attrs[target.attr] = AttrRecord(
+                    name=target.attr,
+                    owner=record.name,
+                    declared_module=ctx.relpath,
+                    declared_line=target.lineno,
+                    type=inferred,
+                    annotated=bool(
+                        ANNOTATION_RE.search(ctx.line_text(target.lineno))
+                    ),
+                )
+            else:
+                if in_init and existing.declared_line > target.lineno:
+                    existing.declared_line = target.lineno
+                    existing.annotated = existing.annotated or bool(
+                        ANNOTATION_RE.search(ctx.line_text(target.lineno))
+                    )
+                if existing.type is None and inferred is not None:
+                    existing.type = inferred
+                if not existing.annotated and ANNOTATION_RE.search(
+                    ctx.line_text(target.lineno)
+                ):
+                    existing.annotated = True
+
+
+def iter_functions(
+    ctx: FileContext,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None, str]]:
+    """Every function in ``ctx`` as ``(node, enclosing_class, qualname)``."""
+    out: list[
+        tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None, str]
+    ] = []
+
+    def visit(node: ast.AST, class_name: str | None, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, child.name, f"{prefix}{child.name}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append((child, class_name, f"{prefix}{child.name}"))
+                # Functions nested inside a method are their own scope:
+                # their first parameter is not ``self``, so they must not
+                # inherit the enclosing class for receiver resolution.
+                visit(child, None, f"{prefix}{child.name}.")
+            else:
+                visit(child, class_name, prefix)
+
+    visit(ctx.tree, None, "")
+    yield from out
+
+
+def function_env(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    enclosing_class: str | None,
+    inventory: Inventory,
+) -> dict[str, TypeRef | None]:
+    """The name->type environment for resolving receivers in ``node``."""
+    env: dict[str, TypeRef | None] = {}
+    decorators = _decorator_names(node)
+    if enclosing_class is not None and "staticmethod" not in decorators:
+        first = (node.args.posonlyargs + node.args.args)[:1]
+        if first and "classmethod" not in decorators:
+            env[first[0].arg] = ("inst", enclosing_class)
+    env.update(
+        (name, ref)
+        for name, ref in _param_types(node).items()
+        if ref is not None
+    )
+
+    # Locals, in source order (no flow sensitivity; last assignment wins
+    # for duplicates, which matches the dominant single-assignment style).
+    for child in shallow_walk(node):
+        if isinstance(child, ast.Assign) and isinstance(child.value, ast.expr):
+            ref = resolve_expr(child.value, env, inventory, enclosing_class)
+            if ref is None:
+                continue
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = ref
+        elif isinstance(child, ast.AnnAssign) and isinstance(
+            child.target, ast.Name
+        ):
+            ref = parse_annotation(child.annotation)
+            if ref is not None:
+                env[child.target.id] = ref
+        elif isinstance(child, ast.For):
+            ref = resolve_expr(child.iter, env, inventory, enclosing_class)
+            if ref is not None and ref[0] == "list":
+                elem = ref[1]
+                if isinstance(child.target, ast.Name) and elem is not None:
+                    env[child.target.id] = elem  # type: ignore[assignment]
+    return env
+
+
+def resolve_expr(
+    expr: ast.expr,
+    env: dict[str, TypeRef | None],
+    inventory: Inventory,
+    enclosing_class: str | None,
+) -> TypeRef | None:
+    """Best-effort static type of ``expr`` under ``env``."""
+    if isinstance(expr, ast.Name):
+        if expr.id in env:
+            return env[expr.id]
+        return None
+    if isinstance(expr, ast.Attribute):
+        base = resolve_expr(expr.value, env, inventory, enclosing_class)
+        if base is not None and base[0] == "inst":
+            class_name = str(base[1])
+            attr = inventory.lookup_attr(class_name, expr.attr)
+            if attr is not None:
+                return attr.type
+            return inventory.lookup_method_return(class_name, expr.attr)
+        return None
+    if isinstance(expr, ast.Subscript):
+        base = resolve_expr(expr.value, env, inventory, enclosing_class)
+        if base is not None and base[0] in ("list", "dict", "set"):
+            elem = base[1]
+            if isinstance(elem, tuple):
+                return elem
+        return None
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name):
+            if func.id == "cls" and enclosing_class is not None:
+                return ("inst", enclosing_class)
+            if func.id in inventory.registry:
+                return ("inst", func.id)
+            if func.id == "enumerate":
+                return None
+            return None
+        if isinstance(func, ast.Attribute):
+            base = resolve_expr(func.value, env, inventory, enclosing_class)
+            if base is not None and base[0] == "inst":
+                return inventory.lookup_method_return(str(base[1]), func.attr)
+            # ClassName.factory(...) classmethod constructors.
+            if isinstance(func.value, ast.Name):
+                record = inventory.registry.get(func.value.id)
+                if record is not None and func.attr in record.classmethods:
+                    returns = record.method_returns.get(func.attr)
+                    if returns is not None:
+                        return returns
+                    return ("inst", record.name)
+        return None
+    return None
+
+
+def _unit_for(
+    enclosing_class: str | None, qualname: str, module: str
+) -> str:
+    if enclosing_class is not None:
+        return enclosing_class
+    return f"{module}::{qualname.split('.')[0]}"
+
+
+def _is_init_write(
+    enclosing_class: str | None,
+    func_name: str,
+    owner: str,
+    inventory: Inventory,
+) -> bool:
+    """Construction-time writes: the owner's (or a subclass's)
+    __init__/__post_init__, or any classmethod factory (factories
+    assemble the object they return)."""
+    if (
+        enclosing_class is not None
+        and func_name in _INIT_METHODS
+        and (
+            enclosing_class == owner
+            or inventory.is_ancestor(owner, enclosing_class)
+        )
+    ):
+        return True
+    if enclosing_class is not None:
+        record = inventory.registry.get(enclosing_class)
+        if record is not None and func_name in record.classmethods:
+            return True
+    return False
+
+
+def build_inventory(project: ProjectContext) -> Inventory:
+    """Phase A + Phase B: the classified whole-program inventory."""
+    inventory = build_registry(project)
+    for ctx in project.files:
+        if not in_scope(ctx):
+            continue
+        for node, enclosing_class, qualname in iter_functions(ctx):
+            _collect_sites(
+                ctx, node, enclosing_class, qualname, inventory
+            )
+    for record in inventory.registry.values():
+        for attr in record.attrs.values():
+            attr.init_sites.sort(key=lambda s: (s[2], s[3], s[1]))
+            attr.write_sites.sort(key=lambda s: (s[2], s[3], s[1]))
+    return inventory
+
+
+def _record_write(
+    inventory: Inventory,
+    receiver: TypeRef | None,
+    attr_name: str,
+    site: tuple[str | None, str, str, int, str],
+) -> None:
+    if receiver is None or receiver[0] != "inst":
+        return
+    owner_class = str(receiver[1])
+    attr = inventory.lookup_attr(owner_class, attr_name)
+    if attr is None:
+        return
+    record = inventory.registry.get(attr.owner)
+    if record is not None and record.frozen:
+        return
+    enclosing_class, qualname, module, lineno, kind = site
+    unit = _unit_for(enclosing_class, qualname, module)
+    # A subclass mutating an inherited attribute through ``self`` is the
+    # same logical writer as the owner, not a second sharing party.
+    if enclosing_class is not None and inventory.is_ancestor(
+        attr.owner, enclosing_class
+    ):
+        unit = attr.owner
+    func_name = qualname.rsplit(".", 1)[-1]
+    resolved: Site = (unit, qualname, module, lineno, kind)
+    if _is_init_write(enclosing_class, func_name, attr.owner, inventory):
+        attr.init_sites.append(resolved)
+    else:
+        attr.write_sites.append(resolved)
+
+
+def _collect_sites(
+    ctx: FileContext,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    enclosing_class: str | None,
+    qualname: str,
+    inventory: Inventory,
+) -> None:
+    env = function_env(node, enclosing_class, inventory)
+    unit = _unit_for(enclosing_class, qualname, ctx.relpath)
+
+    def resolve(expr: ast.expr) -> TypeRef | None:
+        return resolve_expr(expr, env, inventory, enclosing_class)
+
+    for child in shallow_walk(node):
+        targets: list[ast.expr] = []
+        if isinstance(child, ast.Assign):
+            targets = list(child.targets)
+        elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+            targets = [child.target]
+        elif isinstance(child, ast.Delete):
+            targets = list(child.targets)
+        for target in targets:
+            flat: list[ast.expr] = (
+                list(target.elts)
+                if isinstance(target, (ast.Tuple, ast.List))
+                else [target]
+            )
+            for part in flat:
+                if isinstance(part, ast.Attribute):
+                    _record_write(
+                        inventory,
+                        resolve(part.value),
+                        part.attr,
+                        (
+                            enclosing_class,
+                            qualname,
+                            ctx.relpath,
+                            part.lineno,
+                            "assign",
+                        ),
+                    )
+                elif isinstance(part, ast.Subscript) and isinstance(
+                    part.value, ast.Attribute
+                ):
+                    # ``store.states[i] = x`` mutates the container attr.
+                    _record_write(
+                        inventory,
+                        resolve(part.value.value),
+                        part.value.attr,
+                        (
+                            enclosing_class,
+                            qualname,
+                            ctx.relpath,
+                            part.lineno,
+                            "setitem",
+                        ),
+                    )
+
+        if isinstance(child, ast.Call):
+            func = child.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+                and isinstance(func.value, ast.Attribute)
+            ):
+                _record_write(
+                    inventory,
+                    resolve(func.value.value),
+                    func.value.attr,
+                    (
+                        enclosing_class,
+                        qualname,
+                        ctx.relpath,
+                        child.lineno,
+                        f"mutate:{func.attr}",
+                    ),
+                )
+
+        if isinstance(child, ast.Attribute) and isinstance(
+            child.ctx, ast.Load
+        ):
+            receiver = resolve(child.value)
+            if receiver is not None and receiver[0] == "inst":
+                attr = inventory.lookup_attr(str(receiver[1]), child.attr)
+                if attr is not None:
+                    attr.read_units.add(unit)
+
+
+# --------------------------------------------------------------------- #
+# Gate and report
+# --------------------------------------------------------------------- #
+
+
+def _site_str(site: Site) -> str:
+    unit, qualname, module, lineno, kind = site
+    label = qualname if "::" not in unit else unit.split("::", 1)[1]
+    return f"{label} ({module}:{lineno}, {kind})"
+
+
+def gate_violations(inventory: Inventory) -> list[str]:
+    """The conditions the CI concurrency gate fails (exit 2) on:
+    unannotated multi-writer state, and stale (lost) annotations."""
+    problems: list[str] = []
+    for record in sorted(inventory.registry.values(), key=lambda r: r.name):
+        for attr in sorted(record.attrs.values(), key=lambda a: a.name):
+            classification = attr.classification
+            if classification == MULTI_WRITER and not attr.annotated:
+                writers = ", ".join(sorted(attr.writer_units))
+                problems.append(
+                    f"new multi-writer shared state: {attr.owner}."
+                    f"{attr.name} ({attr.declared_module}:"
+                    f"{attr.declared_line}) is written by {writers}; "
+                    f"annotate the declaration with "
+                    f"'# concurrency: multi-writer' after recording the "
+                    f"hazard, or eliminate the extra writer"
+                )
+            elif classification != MULTI_WRITER and attr.annotated:
+                problems.append(
+                    f"lost annotation: {attr.owner}.{attr.name} "
+                    f"({attr.declared_module}:{attr.declared_line}) is "
+                    f"marked '# concurrency: multi-writer' but is now "
+                    f"{classification}; drop the stale annotation"
+                )
+    return problems
+
+
+def render_report(project: ProjectContext) -> str:
+    """The byte-deterministic ``concurrency_report.json`` document."""
+    from repro.lint.rules.concurrency import (
+        AtomicityRule,
+        DeterministicIterationRule,
+        ExceptionSafetyRule,
+        SharedStateRule,
+    )
+
+    inventory = build_inventory(project)
+
+    classes: dict[str, dict[str, object]] = {}
+    summary = {READ_ONLY: 0, SINGLE_WRITER: 0, MULTI_WRITER: 0, "annotated": 0}
+    for record in sorted(
+        inventory.registry.values(), key=lambda r: (r.module, r.name)
+    ):
+        attrs: dict[str, dict[str, object]] = {}
+        for attr in sorted(record.attrs.values(), key=lambda a: a.name):
+            classification = attr.classification
+            summary[classification] += 1
+            if attr.annotated:
+                summary["annotated"] += 1
+            attrs[attr.name] = {
+                "classification": classification,
+                "annotated": attr.annotated,
+                "declared_at": (
+                    f"{attr.declared_module}:{attr.declared_line}"
+                ),
+                "type": render_typeref(attr.type),
+                "init_writers": [_site_str(s) for s in attr.init_sites],
+                "writers": [_site_str(s) for s in attr.write_sites],
+                "readers": sorted(attr.read_units),
+            }
+        classes[f"{record.module}::{record.name}"] = {
+            "line": record.lineno,
+            "frozen": record.frozen,
+            "attributes": attrs,
+        }
+
+    hazards: list[dict[str, object]] = []
+    by_path = {ctx.relpath: ctx for ctx in project.files}
+    project_rules = [SharedStateRule(), AtomicityRule()]
+    file_rules = [ExceptionSafetyRule(), DeterministicIterationRule()]
+    raw = []
+    for rule in project_rules:
+        raw.extend(rule.check_project(project))
+    for ctx in project.files:
+        for file_rule in file_rules:
+            raw.extend(file_rule.check(ctx))
+    for finding in sorted(
+        raw, key=lambda f: (f.path, f.line, f.rule, f.message)
+    ):
+        ctx = by_path.get(finding.path)
+        hazards.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "suppressed": bool(
+                    ctx is not None
+                    and ctx.is_suppressed(finding.rule, finding.line)
+                ),
+            }
+        )
+
+    document = {
+        "report": "concurrency-readiness",
+        "version": 1,
+        "scope": inventory.scope,
+        "classes": classes,
+        "hazards": hazards,
+        "gate": gate_violations(inventory),
+        "summary": summary,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -41,6 +41,9 @@ class LintResult:
     files_checked: int = 0
     #: Findings suppressed by ``# clio-lint: disable`` comments.
     suppressed: int = 0
+    #: Every successfully parsed file, for post-run whole-program passes
+    #: (the concurrency report renders from this without re-parsing).
+    project: ProjectContext | None = None
 
 
 def discover_files(paths: list[Path]) -> list[Path]:
@@ -65,9 +68,9 @@ def _relpath(path: Path, root: Path) -> str:
 
 
 def _load(path: Path, root: Path) -> tuple[FileContext | None, Finding | None]:
-    source = path.read_text(encoding="utf-8")
     relpath = _relpath(path, root)
     try:
+        source = path.read_text(encoding="utf-8")
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         return None, Finding(
@@ -75,6 +78,15 @@ def _load(path: Path, root: Path) -> tuple[FileContext | None, Finding | None]:
             path=relpath,
             line=exc.lineno or 1,
             message=f"file does not parse: {exc.msg}",
+        )
+    except (UnicodeDecodeError, ValueError, OSError) as exc:
+        # Undecodable bytes, NUL bytes, unreadable file: one finding, not
+        # a crashed run — the other files still get checked.
+        return None, Finding(
+            rule=PARSE_ERROR_RULE,
+            path=relpath,
+            line=1,
+            message=f"file cannot be read as Python source: {exc}",
         )
     lines = source.splitlines()
     per_line, whole_file = parse_suppressions(lines)
@@ -152,4 +164,5 @@ def run_lint(
         kept.append(finding)
 
     result.findings = _number_occurrences(kept)
+    result.project = project
     return result

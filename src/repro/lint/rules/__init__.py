@@ -1,13 +1,19 @@
 """The default rule set for ``clio lint``.
 
-Nine rules, each protecting an invariant the runtime can only catch late
-or not at all; see ``docs/LINTING.md`` for the catalog with paper
+Thirteen rules, each protecting an invariant the runtime can only catch
+late or not at all; see ``docs/LINTING.md`` for the catalog with paper
 references.
 """
 
 from __future__ import annotations
 
 from repro.lint.base import Rule
+from repro.lint.rules.concurrency import (
+    AtomicityRule,
+    DeterministicIterationRule,
+    ExceptionSafetyRule,
+    SharedStateRule,
+)
 from repro.lint.rules.encoding import DeterministicJsonRule
 from repro.lint.rules.hygiene import (
     ExceptionHygieneRule,
@@ -30,6 +36,10 @@ __all__ = [
     "DeterministicJsonRule",
     "MetricsDriftRule",
     "SpanDriftRule",
+    "SharedStateRule",
+    "AtomicityRule",
+    "ExceptionSafetyRule",
+    "DeterministicIterationRule",
 ]
 
 #: Rule classes, in reporting order.
@@ -43,6 +53,10 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     DeterministicJsonRule,
     MetricsDriftRule,
     SpanDriftRule,
+    SharedStateRule,
+    AtomicityRule,
+    ExceptionSafetyRule,
+    DeterministicIterationRule,
 )
 
 

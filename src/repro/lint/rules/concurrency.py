@@ -1,0 +1,734 @@
+"""Rules: concurrency readiness ahead of the multi-client core.
+
+ROADMAP item 1 will interleave multiple client requests through
+``vsystem.ipc`` and ``LogService``.  Today's code is single-client and
+correct; these four rules find the places where that correctness depends
+on *not* being interleaved, so the scheduler PR inherits a worklist
+instead of a minefield:
+
+* ``shared-state`` — every multi-writer attribute in the
+  :mod:`repro.lint.concurrency` inventory must carry an explicit
+  ``# concurrency: multi-writer`` acknowledgement on its declaration, and
+  annotations must not go stale.
+* ``atomicity`` — a guard (``if``/``while``) that tests shared mutable
+  state and then, after a call that reaches a charging/IPC/NVRAM-force
+  operation (the future yield points), writes that same state is a
+  check-then-act window: under interleaving the guard may be stale by the
+  time the write lands.
+* ``exception-safety`` — the mutate → risky call → restore toggle
+  pattern without ``try/finally``: an exception in the middle leaves the
+  object in the mutated state forever (the exact ``suppress()`` bug class
+  PR 7 fixed by hand in the journal and tracer).
+* ``deterministic-iteration`` — iterating a ``set``/``frozenset`` raw is
+  hash-order-dependent (string hashing is randomized per process); once
+  that order leaks into a sublog, journal event, or bench artifact,
+  byte-determinism is gone.  Iterate ``sorted(...)`` instead.  Dicts are
+  insertion-ordered and therefore deterministic under a deterministic
+  workload, so they are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+from repro.lint.base import FileContext, Finding, ProjectContext, ProjectRule, Rule
+from repro.lint.callgraph import (
+    MUTATOR_METHODS,
+    FunctionInfo,
+    collect_functions,
+    names_reaching,
+    names_writing,
+)
+from repro.lint.concurrency import (
+    MULTI_WRITER,
+    READ_ONLY,
+    AttrRecord,
+    Inventory,
+    build_inventory,
+    function_env,
+    in_scope,
+    iter_functions,
+    parse_annotation,
+    resolve_expr,
+    shallow_walk,
+)
+
+__all__ = [
+    "SharedStateRule",
+    "AtomicityRule",
+    "ExceptionSafetyRule",
+    "DeterministicIterationRule",
+]
+
+
+class SharedStateRule(ProjectRule):
+    name = "shared-state"
+    description = (
+        "Every multi-writer attribute in the core/vsystem/worm shared-state "
+        "inventory must be acknowledged with '# concurrency: multi-writer' "
+        "on its declaration line, and annotations must not go stale."
+    )
+    paper_section = "§4 (multiple clients); ROADMAP item 1"
+
+    def check_project(self, project: ProjectContext) -> list[Finding]:
+        inventory = build_inventory(project)
+        by_path = {ctx.relpath: ctx for ctx in project.files}
+        findings: list[Finding] = []
+        for record in sorted(
+            inventory.registry.values(), key=lambda r: (r.module, r.name)
+        ):
+            for attr in sorted(record.attrs.values(), key=lambda a: a.name):
+                ctx = by_path.get(attr.declared_module)
+                if ctx is None:
+                    continue
+                classification = attr.classification
+                if classification == MULTI_WRITER and not attr.annotated:
+                    writers = ", ".join(sorted(attr.writer_units))
+                    findings.append(
+                        ctx.finding(
+                            self.name,
+                            attr.declared_line,
+                            f"'{attr.owner}.{attr.name}' is multi-writer "
+                            f"shared state (written by {writers}); "
+                            f"acknowledge the hazard with "
+                            f"'# concurrency: multi-writer' on this line or "
+                            f"eliminate the extra writer",
+                        )
+                    )
+                elif classification != MULTI_WRITER and attr.annotated:
+                    findings.append(
+                        ctx.finding(
+                            self.name,
+                            attr.declared_line,
+                            f"'{attr.owner}.{attr.name}' is marked "
+                            f"'# concurrency: multi-writer' but is now "
+                            f"{classification}; drop the stale annotation",
+                        )
+                    )
+        return findings
+
+
+#: Leaf operations the future scheduler will yield around: simulated-time
+#: charging, IPC transfer, and the NVRAM tail force.
+_YIELD_SINKS = frozenset(
+    {
+        "charge",
+        "charge_us",
+        "charge_many",
+        "_charge",
+        "_charge_bulk",
+        "advance_ms",
+        "advance_us",
+        "call",
+        "send",
+        "store",
+    }
+)
+
+
+class AtomicityRule(ProjectRule):
+    name = "atomicity"
+    description = (
+        "No check-then-act on shared state across a future yield point: a "
+        "guard that tests a shared attribute and then writes it after a "
+        "call reaching a charging/IPC/NVRAM operation may act on a stale "
+        "check once requests interleave."
+    )
+    paper_section = "§4 (multiple clients); ROADMAP item 1"
+
+    def check_project(self, project: ProjectContext) -> list[Finding]:
+        scoped = [ctx for ctx in project.files if in_scope(ctx)]
+        if not scoped:
+            return []
+        inventory = build_inventory(project)
+        infos: list[FunctionInfo] = []
+        for ctx in scoped:
+            infos.extend(collect_functions(ctx, sinks=_YIELD_SINKS))
+        yielders = names_reaching(infos, _YIELD_SINKS)
+        writer_names: dict[str, set[str]] = {}
+
+        findings: list[Finding] = []
+        for ctx in scoped:
+            for node, enclosing_class, qualname in iter_functions(ctx):
+                env = function_env(node, enclosing_class, inventory)
+
+                def resolve(expr: ast.expr) -> tuple[str, object] | None:
+                    return resolve_expr(expr, env, inventory, enclosing_class)
+
+                for stmt in shallow_walk(node):
+                    if not isinstance(stmt, (ast.If, ast.While)):
+                        continue
+                    tested = _tested_shared_attrs(
+                        stmt.test, resolve, inventory
+                    )
+                    if not tested:
+                        continue
+                    suite = list(stmt.body) + list(stmt.orelse)
+                    for attr in tested:
+                        if attr.name not in writer_names:
+                            writer_names[attr.name] = names_writing(
+                                infos, attr.name
+                            )
+                        hazard = _yield_then_write(
+                            suite, attr, resolve, yielders,
+                            writer_names[attr.name], inventory,
+                        )
+                        if hazard is None:
+                            continue
+                        call_name, write_line = hazard
+                        findings.append(
+                            ctx.finding(
+                                self.name,
+                                stmt,
+                                f"check-then-act on shared state: "
+                                f"'{attr.owner}.{attr.name}' is tested "
+                                f"here but written (line {write_line}) "
+                                f"after a call to '{call_name}(...)' that "
+                                f"reaches a charge/IPC/NVRAM operation — a "
+                                f"future scheduler yield point; the guard "
+                                f"may be stale under concurrent clients",
+                            )
+                        )
+        return findings
+
+
+def _tested_shared_attrs(
+    test: ast.expr,
+    resolve: Callable[[ast.expr], tuple[str, object] | None],
+    inventory: Inventory,
+) -> list[AttrRecord]:
+    """Shared (non-read-only) inventoried attributes read by a guard."""
+    out: list[AttrRecord] = []
+    seen: set[tuple[str, str]] = set()
+    for node in ast.walk(test):
+        if not isinstance(node, ast.Attribute) or not isinstance(
+            node.ctx, ast.Load
+        ):
+            continue
+        receiver = resolve(node.value)
+        if receiver is None or receiver[0] != "inst":
+            continue
+        attr = inventory.lookup_attr(str(receiver[1]), node.attr)
+        if attr is None or attr.classification == READ_ONLY:
+            continue
+        key = (attr.owner, attr.name)
+        if key not in seen:
+            seen.add(key)
+            out.append(attr)
+    return out
+
+
+def _yield_then_write(
+    suite: list[ast.stmt],
+    attr: AttrRecord,
+    resolve: Callable[[ast.expr], tuple[str, object] | None],
+    yielders: set[str],
+    writers: set[str],
+    inventory: Inventory,
+) -> tuple[str, int] | None:
+    """First ``(yielding call name, later write line)`` in the suite, if
+    the guarded body crosses a yield point before writing ``attr``."""
+    first_yield: tuple[int, str] | None = None
+    events: list[tuple[int, str, str]] = []  # (line, kind, detail)
+    for stmt in suite:
+        for child in shallow_walk(stmt):
+            if isinstance(child, ast.Call):
+                func = child.func
+                name = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None
+                )
+                if name is None:
+                    continue
+                # ``d.clear()`` on a plain dict would match NvramTail.clear
+                # by short name; a container-mutator call only counts when
+                # its receiver resolves to a class that defines the method.
+                if name in MUTATOR_METHODS:
+                    if not isinstance(func, ast.Attribute):
+                        continue
+                    receiver = resolve(func.value)
+                    if (
+                        receiver is None
+                        or receiver[0] != "inst"
+                        or not inventory.has_method(str(receiver[1]), name)
+                    ):
+                        continue
+                if name in yielders or name in _YIELD_SINKS:
+                    events.append((child.lineno, "yield", name))
+                if name in writers:
+                    events.append((child.lineno, "write", name))
+            for target_attr, lineno in _direct_writes(
+                child, resolve, inventory
+            ):
+                if (
+                    target_attr.owner == attr.owner
+                    and target_attr.name == attr.name
+                ):
+                    events.append((lineno, "write", "<assign>"))
+    events.sort(key=lambda e: e[0])
+    for line, kind, detail in events:
+        if kind == "yield" and first_yield is None:
+            first_yield = (line, detail)
+        elif kind == "write" and first_yield is not None:
+            return (first_yield[1], line)
+        elif kind == "write" and first_yield is None:
+            # A single call both yielding and writing counts: the write
+            # happens somewhere beyond the yield inside the callee.
+            matching = [e for e in events if e[0] == line and e[1] == "yield"]
+            if matching:
+                return (matching[0][2], line)
+    return None
+
+
+def _direct_writes(
+    node: ast.AST,
+    resolve: Callable[[ast.expr], tuple[str, object] | None],
+    inventory: Inventory,
+) -> list[tuple[AttrRecord, int]]:
+    """Inventoried attributes this single AST node writes directly:
+    attribute assignments, ``x.attr[i] = ...`` item stores, and in-place
+    container mutators (``x.attr.append(...)``)."""
+    out: list[tuple[AttrRecord, int]] = []
+
+    def record(receiver: ast.expr, attr_name: str, lineno: int) -> None:
+        ref = resolve(receiver)
+        if ref is None or ref[0] != "inst":
+            return
+        attr = inventory.lookup_attr(str(ref[1]), attr_name)
+        if attr is not None:
+            out.append((attr, lineno))
+
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    for target in targets:
+        flat: list[ast.expr] = (
+            list(target.elts)
+            if isinstance(target, (ast.Tuple, ast.List))
+            else [target]
+        )
+        for part in flat:
+            if isinstance(part, ast.Attribute):
+                record(part.value, part.attr, part.lineno)
+            elif isinstance(part, ast.Subscript) and isinstance(
+                part.value, ast.Attribute
+            ):
+                record(part.value.value, part.value.attr, part.lineno)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATOR_METHODS
+            and isinstance(func.value, ast.Attribute)
+        ):
+            record(func.value.value, func.value.attr, node.lineno)
+    return out
+
+
+class ExceptionSafetyRule(Rule):
+    name = "exception-safety"
+    description = (
+        "No mutate/risky-call/restore toggle without try/finally: if the "
+        "call in the middle raises, the restoring write never runs and the "
+        "object stays in its temporary state (the PR-7 suppress() bug "
+        "class)."
+    )
+    paper_section = "§2.3 (failure recovery); ROADMAP item 1"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for suite in _suites(node):
+                findings.extend(self._check_suite(ctx, suite))
+        return findings
+
+    def _check_suite(
+        self, ctx: FileContext, suite: list[ast.stmt]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        writes: dict[str, list[tuple[int, ast.stmt, ast.expr | None]]] = {}
+        for index, stmt in enumerate(suite):
+            for key, value in _attr_assignments(stmt):
+                writes.setdefault(key, []).append((index, stmt, value))
+        for key, sites in writes.items():
+            for first, second in zip(sites, sites[1:]):
+                i, first_stmt, first_value = first
+                k, second_stmt, second_value = second
+                if k - i < 2:
+                    continue
+                if not _looks_like_toggle(
+                    key, suite[:i], first_value, second_value
+                ):
+                    continue
+                risky = None
+                for middle in suite[i + 1 : k]:
+                    risky = _risky_part(middle)
+                    if risky is not None:
+                        break
+                if risky is None:
+                    continue
+                findings.append(
+                    ctx.finding(
+                        self.name,
+                        second_stmt,
+                        f"'{key}' is mutated (line {first_stmt.lineno}) and "
+                        f"restored here with a {risky} in between; if it "
+                        f"raises, the restore never runs — move the restore "
+                        f"into a try/finally",
+                    )
+                )
+        return findings
+
+
+def _suites(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[list[ast.stmt]]:
+    """Every statement list inside ``func``, excluding nested defs."""
+    out: list[list[ast.stmt]] = []
+    for node in shallow_walk(func):
+        for attr in ("body", "orelse", "finalbody"):
+            suite = getattr(node, attr, None)
+            if (
+                isinstance(suite, list)
+                and suite
+                and all(isinstance(s, ast.stmt) for s in suite)
+            ):
+                out.append(suite)
+        handlers = getattr(node, "handlers", None)
+        if isinstance(handlers, list):
+            for handler in handlers:
+                if isinstance(handler, ast.ExceptHandler):
+                    out.append(list(handler.body))
+    return out
+
+
+def _receiver_key(target: ast.Attribute) -> str | None:
+    """``self._flag`` / ``store.config`` for plain dotted targets."""
+    parts: list[str] = [target.attr]
+    value: ast.expr = target.value
+    while isinstance(value, ast.Attribute):
+        parts.append(value.attr)
+        value = value.value
+    if isinstance(value, ast.Name):
+        parts.append(value.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _attr_assignments(
+    stmt: ast.stmt,
+) -> list[tuple[str, ast.expr | None]]:
+    """Direct attribute assignments made by this sibling statement."""
+    out: list[tuple[str, ast.expr | None]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Attribute):
+                key = _receiver_key(target)
+                if key is not None:
+                    out.append((key, stmt.value))
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        if isinstance(stmt.target, ast.Attribute):
+            key = _receiver_key(stmt.target)
+            if key is not None:
+                out.append((key, getattr(stmt, "value", None)))
+    return out
+
+
+def _looks_like_toggle(
+    key: str,
+    before: list[ast.stmt],
+    first_value: ast.expr | None,
+    second_value: ast.expr | None,
+) -> bool:
+    """True for the set-then-restore shapes worth flagging: constant
+    toggles (True/False) and saved-value restores (``saved = self.x`` ...
+    ``self.x = saved``).  Plain sequential reassignments of computed
+    values are normal imperative code, not a restore idiom."""
+    if isinstance(first_value, ast.Constant) and isinstance(
+        second_value, ast.Constant
+    ):
+        return first_value.value is not second_value.value
+    if isinstance(second_value, ast.Name):
+        for stmt in before:
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, ast.Attribute
+            ):
+                saved_key = _receiver_key(stmt.value)
+                if saved_key == key:
+                    for target in stmt.targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id == second_value.id
+                        ):
+                            return True
+    return False
+
+
+def _risky_part(stmt: ast.stmt) -> str | None:
+    """A description of the first raise-capable construct in ``stmt``."""
+    for child in shallow_walk(stmt):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return "yield"
+        if isinstance(child, ast.Await):
+            return "await"
+        if isinstance(child, ast.Raise):
+            return "raise"
+        if isinstance(child, ast.Call):
+            return "call"
+    return None
+
+
+#: Set-producing methods: a copy/set-algebra result of a set is a set.
+_SET_METHODS = frozenset(
+    {
+        "copy",
+        "union",
+        "intersection",
+        "difference",
+        "symmetric_difference",
+    }
+)
+
+#: Calls whose argument order becomes the result order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+class DeterministicIterationRule(Rule):
+    name = "deterministic-iteration"
+    description = (
+        "No raw iteration over sets: set order is hash-order (randomized "
+        "per process for strings) and leaks nondeterminism into sublogs, "
+        "journal events, and bench artifacts — iterate sorted(...) "
+        "instead.  Dicts are insertion-ordered and exempt."
+    )
+    paper_section = "§2.3.3 (log as persistent record); determinism"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        module_sets = _module_set_names(ctx.tree)
+        class_sets = _class_set_attrs(ctx.tree)
+        findings: list[Finding] = []
+
+        findings.extend(
+            self._check_scope(
+                ctx, ctx.tree.body, module_sets, frozenset(), None
+            )
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing = _enclosing_class(ctx.tree, node)
+                self_sets = class_sets.get(enclosing, frozenset())
+                local_sets = _local_set_names(
+                    node, module_sets, self_sets
+                )
+                findings.extend(
+                    self._check_scope(
+                        ctx,
+                        list(node.body),
+                        local_sets,
+                        self_sets,
+                        node,
+                    )
+                )
+        return findings
+
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        body: list[ast.stmt],
+        set_names: frozenset[str] | set[str],
+        self_sets: frozenset[str] | set[str],
+        func: ast.FunctionDef | ast.AsyncFunctionDef | None,
+    ) -> list[Finding]:
+        def is_set(expr: ast.expr) -> bool:
+            return _is_set_expr(expr, set_names, self_sets)
+
+        findings: list[Finding] = []
+        root: ast.AST
+        if func is not None:
+            root = func
+        else:
+            module = ast.Module(body=body, type_ignores=[])
+            root = module
+        for child in _scope_walk(root, func is None):
+            iters: list[tuple[ast.expr, str]] = []
+            if isinstance(child, ast.For):
+                iters.append((child.iter, "for loop"))
+            elif isinstance(
+                child, (ast.ListComp, ast.SetComp, ast.DictComp,
+                        ast.GeneratorExp)
+            ):
+                for generator in child.generators:
+                    iters.append((generator.iter, "comprehension"))
+            elif isinstance(child, ast.Call):
+                func_node = child.func
+                if (
+                    isinstance(func_node, ast.Name)
+                    and func_node.id in _ORDER_SENSITIVE_CALLS
+                    and child.args
+                ):
+                    iters.append((child.args[0], f"{func_node.id}(...)"))
+                elif (
+                    isinstance(func_node, ast.Attribute)
+                    and func_node.attr == "join"
+                    and child.args
+                ):
+                    iters.append((child.args[0], "str.join(...)"))
+            for expr, how in iters:
+                if is_set(expr):
+                    findings.append(
+                        ctx.finding(
+                            self.name,
+                            expr,
+                            f"{how} iterates a set in hash order; wrap it "
+                            f"in sorted(...) so the order is deterministic",
+                        )
+                    )
+        return findings
+
+
+def _scope_walk(root: ast.AST, is_module: bool) -> "list[ast.AST]":
+    """Nodes belonging to this scope (module bodies skip all defs)."""
+    out: list[ast.AST] = []
+    for child in shallow_walk(root):
+        out.append(child)
+    if is_module:
+        out = [
+            node
+            for node in out
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+    return out
+
+
+def _is_set_annotation(expr: ast.expr | None) -> bool:
+    ref = parse_annotation(expr)
+    return ref is not None and ref[0] == "set"
+
+
+def _is_set_expr(
+    node: ast.expr,
+    set_names: frozenset[str] | set[str],
+    self_sets: frozenset[str] | set[str],
+) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_METHODS
+            and _is_set_expr(func.value, set_names, self_sets)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Attribute):
+        return (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self_sets
+        )
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left, set_names, self_sets) or _is_set_expr(
+            node.right, set_names, self_sets
+        )
+    return False
+
+
+def _module_set_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            if _is_set_expr(stmt.value, names, frozenset()):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if _is_set_annotation(stmt.annotation):
+                names.add(stmt.target.id)
+    return names
+
+
+def _class_set_attrs(tree: ast.Module) -> dict[str, set[str]]:
+    """Class name -> attribute names statically known to hold sets."""
+    out: dict[str, set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attrs: set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if _is_set_annotation(stmt.annotation):
+                    attrs.add(stmt.target.id)
+        for child in ast.walk(node):
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _is_set_expr(child.value, frozenset(), attrs)
+                    ):
+                        attrs.add(target.attr)
+            elif (
+                isinstance(child, ast.AnnAssign)
+                and isinstance(child.target, ast.Attribute)
+                and isinstance(child.target.value, ast.Name)
+                and child.target.value.id == "self"
+                and _is_set_annotation(child.annotation)
+            ):
+                attrs.add(child.target.attr)
+        out[node.name] = attrs
+    return out
+
+
+def _enclosing_class(
+    tree: ast.Module, func: ast.FunctionDef | ast.AsyncFunctionDef
+) -> str:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and func in node.body:
+            return node.name
+    return ""
+
+
+def _local_set_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    module_sets: set[str],
+    self_sets: frozenset[str] | set[str],
+) -> set[str]:
+    names: set[str] = set(module_sets)
+    args = func.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        if _is_set_annotation(arg.annotation):
+            names.add(arg.arg)
+    for child in shallow_walk(func):
+        if isinstance(child, ast.Assign):
+            if _is_set_expr(child.value, names, self_sets):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif isinstance(child, ast.AnnAssign) and isinstance(
+            child.target, ast.Name
+        ):
+            if _is_set_annotation(child.annotation):
+                names.add(child.target.id)
+    return names

@@ -20,9 +20,9 @@ definition of the delegate name charges.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
 
 from repro.lint.base import FileContext, Finding, ProjectContext, ProjectRule, Rule
+from repro.lint.callgraph import FunctionInfo, collect_functions
 
 __all__ = ["WormEncapsulationRule", "ChargeDisciplineRule"]
 
@@ -118,89 +118,6 @@ _CHARGE_SINKS = frozenset(
 _EXEMPT_DEFS = frozenset({"is_written", "is_invalidated", "query_tail"})
 
 
-@dataclass
-class _FuncInfo:
-    qualname: str
-    module: str  # relpath
-    lineno: int
-    #: bare names of everything this function calls (attr or name).
-    callees: set[str] = field(default_factory=set)
-    direct_sink: bool = False
-    #: (name, lineno) of I/O primitive calls made by this function.
-    io_calls: list[tuple[str, int]] = field(default_factory=list)
-    #: @abstractmethod or a docstring/pass/raise-only body: an interface
-    #: declaration, not an implementation — exempt from the check.
-    abstract: bool = False
-
-
-def _is_abstract(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
-    for decorator in node.decorator_list:
-        name = (
-            decorator.attr
-            if isinstance(decorator, ast.Attribute)
-            else decorator.id if isinstance(decorator, ast.Name) else ""
-        )
-        if name in ("abstractmethod", "abstractproperty"):
-            return True
-    for stmt in node.body:
-        if isinstance(stmt, (ast.Pass, ast.Raise)):
-            continue
-        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
-            continue  # docstring or ...
-        return False
-    return True
-
-
-def _collect_functions(ctx: FileContext) -> list[_FuncInfo]:
-    infos: list[_FuncInfo] = []
-
-    class Visitor(ast.NodeVisitor):
-        def __init__(self) -> None:
-            self.stack: list[str] = []
-
-        def visit_ClassDef(self, node: ast.ClassDef) -> None:
-            self.stack.append(node.name)
-            self.generic_visit(node)
-            self.stack.pop()
-
-        def _visit_func(self, node) -> None:
-            info = _FuncInfo(
-                qualname=".".join(self.stack + [node.name]),
-                module=ctx.relpath,
-                lineno=node.lineno,
-                abstract=_is_abstract(node),
-            )
-            for child in ast.walk(node):
-                if isinstance(child, ast.Call):
-                    func = child.func
-                    name = None
-                    if isinstance(func, ast.Attribute):
-                        name = func.attr
-                    elif isinstance(func, ast.Name):
-                        name = func.id
-                    if name is None:
-                        continue
-                    info.callees.add(name)
-                    if name in _CHARGE_SINKS:
-                        info.direct_sink = True
-                    if name in _IO_PRIMITIVES:
-                        info.io_calls.append((name, child.lineno))
-            infos.append(info)
-
-        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-            self._visit_func(node)
-            # Nested defs also get their own info entries.
-            self.stack.append(node.name)
-            self.generic_visit(node)
-            self.stack.pop()
-
-        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-            self.visit_FunctionDef(node)  # type: ignore[arg-type]
-
-    Visitor().visit(ctx.tree)
-    return infos
-
-
 class ChargeDisciplineRule(ProjectRule):
     name = "charge-discipline"
     description = (
@@ -224,12 +141,16 @@ class ChargeDisciplineRule(ProjectRule):
         scoped = [ctx for ctx in project.files if self._in_scope(ctx)]
         if not scoped:
             return []
-        per_module: dict[str, list[_FuncInfo]] = {}
+        per_module: dict[str, list[FunctionInfo]] = {}
         for ctx in scoped:
-            per_module[ctx.relpath] = _collect_functions(ctx)
+            per_module[ctx.relpath] = collect_functions(
+                ctx, sinks=_CHARGE_SINKS, primitives=_IO_PRIMITIVES
+            )
 
         # Every definition of a primitive name, project wide.
-        prim_defs: dict[str, list[_FuncInfo]] = {name: [] for name in _IO_PRIMITIVES}
+        prim_defs: dict[str, list[FunctionInfo]] = {
+            name: [] for name in sorted(_IO_PRIMITIVES)
+        }
         for infos in per_module.values():
             for info in infos:
                 short = info.qualname.rsplit(".", 1)[-1]
@@ -244,14 +165,14 @@ class ChargeDisciplineRule(ProjectRule):
         charging: dict[int, bool] = {
             id(info): True for infos in per_module.values() for info in infos
         }
-        by_name_per_module: dict[str, dict[str, list[_FuncInfo]]] = {}
+        by_name_per_module: dict[str, dict[str, list[FunctionInfo]]] = {}
         for module, infos in per_module.items():
-            bucket: dict[str, list[_FuncInfo]] = {}
+            bucket: dict[str, list[FunctionInfo]] = {}
             for info in infos:
                 bucket.setdefault(info.qualname.rsplit(".", 1)[-1], []).append(info)
             by_name_per_module[module] = bucket
 
-        def justified(info: _FuncInfo) -> bool:
+        def justified(info: FunctionInfo) -> bool:
             if info.direct_sink:
                 return True
             local = by_name_per_module[info.module]

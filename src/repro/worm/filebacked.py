@@ -151,7 +151,7 @@ class FileBackedWormDevice(WormDevice):
             self._next_writable += 1
 
     def close(self) -> None:
-        if self._file is not None:
+        if self._file is not None:  # clio-lint: disable=atomicity — close() is teardown; no concurrent access
             self._file.flush()
             self._file.close()
             self._file = None

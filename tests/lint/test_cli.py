@@ -1,7 +1,8 @@
-"""The ``clio lint`` command line: exit codes, output formats, and the
-baseline workflow."""
+"""The ``clio lint`` command line: exit codes, output formats, the
+baseline workflow, and ``--changed`` scoping."""
 
 import json
+import subprocess
 import textwrap
 
 from repro.cli import main as clio_main
@@ -53,7 +54,7 @@ class TestExitCodes:
         (tmp_path / ".clio-lint-baseline.json").write_text("[]")
         assert main(["--root", str(tmp_path), "pkg"]) == EXIT_ERROR
 
-    def test_list_rules_names_all_nine(self, tmp_path, capsys):
+    def test_list_rules_names_all_thirteen(self, tmp_path, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
         for rule in (
@@ -66,6 +67,10 @@ class TestExitCodes:
             "nondeterministic-json",
             "metrics-drift",
             "span-drift",
+            "shared-state",
+            "atomicity",
+            "exception-safety",
+            "deterministic-iteration",
         ):
             assert rule in out
 
@@ -108,7 +113,7 @@ class TestOutputFormats:
         assert document["version"] == "2.1.0"
         driver = document["runs"][0]["tool"]["driver"]
         assert driver["name"] == "clio-lint"
-        assert len(driver["rules"]) == 9
+        assert len(driver["rules"]) == 13
         results = document["runs"][0]["results"]
         assert results
         for entry in results:
@@ -121,6 +126,101 @@ class TestOutputFormats:
         assert main(["--root", str(tmp_path), "pkg", "--format", "sarif"]) == 0
         document = json.loads(capsys.readouterr().out)
         assert document["runs"][0]["results"] == []
+
+
+def git(root, *argv):
+    subprocess.run(
+        ["git", "-c", "user.email=lint@test", "-c", "user.name=lint", *argv],
+        cwd=root,
+        check=True,
+        capture_output=True,
+    )
+
+
+class TestChangedFlag:
+    def make_repo(self, tmp_path):
+        write(tmp_path, "pkg/clean.py", CLEAN)
+        write(tmp_path, "pkg/dirty.py", DIRTY)
+        git(tmp_path, "init", "-q")
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-q", "-m", "seed")
+
+    def test_only_changed_files_are_linted(self, tmp_path, capsys):
+        self.make_repo(tmp_path)
+        argv = ["--root", str(tmp_path), "pkg", "--changed", "--no-baseline"]
+        # Nothing changed since HEAD: clean exit without linting dirty.py.
+        assert main(argv) == EXIT_CLEAN
+        assert "no changed Python files" in capsys.readouterr().out
+
+        # Touch only the clean file: one file linted, still clean.
+        (tmp_path / "pkg/clean.py").write_text(
+            textwrap.dedent(CLEAN) + "\n\nEXTRA = answer()\n"
+        )
+        assert main(argv) == EXIT_CLEAN
+        assert "in 1 file(s)" in capsys.readouterr().out
+
+        # An untracked dirty file is picked up too.
+        write(tmp_path, "pkg/fresh.py", DIRTY)
+        assert main(argv) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "in 2 file(s)" in out
+        assert "pkg/fresh.py" in out
+
+    def test_changes_outside_the_requested_paths_are_ignored(
+        self, tmp_path, capsys
+    ):
+        self.make_repo(tmp_path)
+        write(tmp_path, "elsewhere/out.py", DIRTY)
+        argv = ["--root", str(tmp_path), "pkg", "--changed", "--no-baseline"]
+        assert main(argv) == EXIT_CLEAN
+        assert "no changed Python files" in capsys.readouterr().out
+
+    def test_without_git_repo_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", CLEAN)
+        argv = ["--root", str(tmp_path), "pkg", "--changed"]
+        assert main(argv) == EXIT_ERROR
+        assert "--changed needs git" in capsys.readouterr().err
+
+    def test_whole_program_rules_are_skipped_under_changed(
+        self, tmp_path, capsys
+    ):
+        self.make_repo(tmp_path)
+        # A partial view of core/ would misclassify shared state, so the
+        # project rules must not run: a file that the shared-state rule
+        # would flag on a full pass stays quiet under --changed.
+        write(
+            tmp_path,
+            "core/shared.py",
+            """\
+            __all__ = ["Counter", "Alpha", "Beta"]
+
+
+            class Counter:
+                def __init__(self) -> None:
+                    self.hits = 0
+
+
+            class Alpha:
+                def __init__(self, counter: Counter) -> None:
+                    self.counter = counter
+
+                def bump(self) -> None:
+                    self.counter.hits += 1
+
+
+            class Beta:
+                def __init__(self, counter: Counter) -> None:
+                    self.counter = counter
+
+                def bump(self) -> None:
+                    self.counter.hits += 1
+            """,
+        )
+        full = ["--root", str(tmp_path), "core", "--no-baseline"]
+        assert main(full) == EXIT_FINDINGS
+        assert "[shared-state]" in capsys.readouterr().out
+        assert main(full + ["--changed"]) == EXIT_CLEAN
+        assert "in 1 file(s)" in capsys.readouterr().out
 
 
 class TestClioSubcommand:

@@ -69,6 +69,50 @@ class TestSuppression:
         result = run_lint(tmp_path, [tmp_path])
         assert [f.rule for f in result.findings if f.line == 3] == ["sim-time"]
 
+    def test_one_comment_can_name_several_rules(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+
+            __all__ = ["f"]
+
+
+            def f(xs=[], t=time.time()):  # clio-lint: disable=sim-time, mutable-default
+                return xs, t
+            """,
+        )
+        result = run_lint(tmp_path, [tmp_path])
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_suppression_on_a_decorated_def_line(self, tmp_path):
+        # The finding anchors at the ``def`` line (not the decorator), so
+        # that is where the suppression comment must live.
+        write(
+            tmp_path,
+            "mod.py",
+            """\
+            import functools
+
+            __all__ = ["wrapped", "plain"]
+
+
+            @functools.lru_cache
+            def wrapped(xs=[]):  # clio-lint: disable=mutable-default
+                return xs
+
+
+            def plain(xs=[]):
+                return xs
+            """,
+        )
+        result = run_lint(tmp_path, [tmp_path])
+        defaults = [f for f in result.findings if f.rule == "mutable-default"]
+        assert [f.line for f in defaults] == [11]
+        assert result.suppressed == 1
+
 
 class TestParseError:
     def test_unparseable_file_yields_a_parse_error_finding(self, tmp_path):
@@ -76,6 +120,36 @@ class TestParseError:
         result = run_lint(tmp_path, [tmp_path])
         assert [f.rule for f in result.findings] == [PARSE_ERROR_RULE]
         assert "does not parse" in result.findings[0].message
+
+    def test_undecodable_and_nul_byte_files_become_findings(self, tmp_path):
+        good = write(
+            tmp_path,
+            "good.py",
+            """\
+            import time
+
+            T = time.time()
+            """,
+        )
+        (tmp_path / "latin.py").write_bytes(b"name = '\xe9'\n")
+        (tmp_path / "nul.py").write_bytes(b"x = 1\x00\n")
+        result = run_lint(tmp_path, [tmp_path])
+        assert result.files_checked == 3
+        parse_errors = {
+            f.path: f.message
+            for f in result.findings
+            if f.rule == PARSE_ERROR_RULE
+        }
+        assert set(parse_errors) == {"latin.py", "nul.py"}
+        assert "cannot be read as Python source" in parse_errors["latin.py"]
+        # NUL bytes surface as SyntaxError on current CPython, ValueError
+        # on older ones; either way the run reports, not crashes.
+        assert "null bytes" in parse_errors["nul.py"]
+        # The run kept going: the decodable file was still linted.
+        assert any(
+            f.rule == "sim-time" and f.path == "good.py"
+            for f in result.findings
+        ), good
 
 
 class TestFingerprints:
@@ -99,6 +173,38 @@ class TestFingerprints:
         sim = [f for f in result.findings if f.rule == "sim-time"]
         assert [f.occurrence for f in sim] == [0, 1]
         assert len({f.fingerprint for f in sim}) == 2
+
+
+class TestBaselineStability:
+    def test_baseline_survives_reformatting_above_the_finding(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+
+            __all__ = []
+
+            STARTED = time.time()
+            """,
+        )
+        first = run_lint(tmp_path, [tmp_path])
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, first.findings)
+
+        # Reformat: new header comment and blank lines shift every line
+        # number, but the finding's own line text is unchanged.
+        path.write_text(
+            "# Module header added later.\n\n\n"
+            "import time\n\n__all__ = []\n\n\n"
+            "STARTED = time.time()\n"
+        )
+        second = run_lint(tmp_path, [tmp_path])
+        accepted = load_baseline(baseline)
+        assert [f.line for f in second.findings] == [9]
+        assert [
+            f for f in second.findings if f.fingerprint not in accepted
+        ] == []
 
 
 class TestBaseline:
