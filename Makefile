@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check campaign bench bench-fastpath bench-tables bench-wallclock examples fsck-demo obs-demo health-demo outputs clean
+.PHONY: install test lint check campaign workload bench bench-fastpath bench-tables bench-wallclock examples fsck-demo obs-demo health-demo outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -25,6 +25,14 @@ check:
 # silent miss.
 campaign:
 	PYTHONPATH=src $(PYTHON) -m repro campaign run --menu full --check-determinism
+
+# The year-in-the-life workload observatory (docs/WORKLOADS.md): replay
+# the year profile with the full fault menu under load, require
+# byte-identical artifacts, and re-register the run catalog.  Exit 2 on
+# an attribution shortfall or a silent miss.
+workload:
+	PYTHONPATH=src $(PYTHON) -m repro workload run --profile year --campaign full --check-determinism --register benchmarks/runs
+	PYTHONPATH=src $(PYTHON) -m repro workload index benchmarks/runs --verify
 
 bench:
 	CLIO_BENCH_RECORD_DIR=. $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -29,6 +29,14 @@ PYTHONPATH=src python -m repro campaign run --menu small --check-determinism \
     --out /tmp/clio_campaign_small.json > /dev/null
 echo "campaign ok: no silent misses, artifact deterministic"
 
+echo "== workload smoke (long-horizon replay + under-load campaign + determinism) =="
+PYTHONPATH=src python -m repro workload run --profile smoke \
+    --campaign small --check-determinism \
+    --out /tmp/clio_workload_smoke.json > /dev/null
+PYTHONPATH=src python -m repro workload index benchmarks/runs --verify \
+    > /dev/null
+echo "workload ok: gates pass, artifact deterministic, catalog verified"
+
 echo "== perf smoke (wall-clock harness + determinism + baseline gate) =="
 PYTHONPATH=src python -m repro perf run --profile smoke \
     --check-determinism --out /tmp/clio_perf_smoke.json
@@ -36,9 +44,10 @@ PYTHONPATH=src python -m repro perf compare /tmp/clio_perf_smoke.json \
     --baseline benchmarks/baselines/wallclock_baseline.json
 
 if python -c "import mypy" >/dev/null 2>&1; then
-    echo "== mypy --strict (worm + vsystem + obs + annotated core) =="
+    echo "== mypy --strict (worm + vsystem + obs + workloads + annotated core) =="
     PYTHONPATH=src python -m mypy --strict \
         src/repro/worm src/repro/vsystem src/repro/obs \
+        src/repro/workloads \
         src/repro/core/ids.py src/repro/core/naming.py \
         src/repro/core/entry.py src/repro/core/block.py \
         src/repro/core/catalog.py src/repro/core/sublog.py \

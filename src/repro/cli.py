@@ -740,6 +740,95 @@ def _cmd_campaign_diff(args) -> int:
     return 0
 
 
+def _cmd_workload_run(args) -> int:
+    """Replay a long-horizon workload profile; exit 2 on an attribution
+    shortfall, an alert-log divergence, a silent miss in the under-load
+    campaign, or a determinism failure (see docs/WORKLOADS.md)."""
+    from repro.obs import workload
+
+    menu = args.campaign or None
+    try:
+        run = workload.run_workload(args.profile, menu=menu)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    artifact = run.encode()
+    if args.check_determinism:
+        second = workload.run_workload(args.profile, menu=menu).encode()
+        if artifact != second:
+            print(
+                "determinism: ARTIFACTS DIFFER between two identical runs",
+                file=sys.stderr,
+            )
+            return 2
+        print("determinism: artifact byte-identical across two runs")
+    print(workload.format_run(run.as_dict()))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(artifact + "\n")
+        print(f"(wrote {args.out})")
+    if args.register:
+        path = workload.register_run(args.register, run)
+        print(f"(registered {run.run_id} -> {path})")
+    if not run.passed:
+        for reason in run.failures:
+            print(f"FAIL: {reason}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_workload_report(args) -> int:
+    import json
+
+    from repro.obs import workload
+
+    with open(args.file) as handle:
+        record = json.load(handle)
+    print(workload.format_run(record))
+    return 0
+
+
+def _cmd_workload_diff(args) -> int:
+    """Compare two workload-run artifacts; exit 2 on a phase-level
+    regression (changed coverage, ops, sim time, or trace digest)."""
+    import json
+
+    from repro.obs import workload
+
+    with open(args.old) as handle:
+        old = json.load(handle)
+    with open(args.new) as handle:
+        new = json.load(handle)
+    changes = workload.diff_runs(old, new)
+    if not changes:
+        print("no phase-level differences")
+        return 0
+    for line in changes:
+        print(line)
+    regressions = [line for line in changes if line.startswith("!")]
+    if regressions:
+        print(f"{len(regressions)} phase regression(s)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_workload_index(args) -> int:
+    """Render the run catalog; with --verify, re-hash every cataloged
+    artifact and exit 2 on a missing file or digest mismatch."""
+    from repro.obs import workload
+
+    rows = workload.read_index(args.runs_dir)
+    print(workload.format_index(rows))
+    if args.verify:
+        problems = workload.verify_index(args.runs_dir)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 2
+        print(f"catalog verified: {len(rows)} run(s), all digests match")
+    return 0
+
+
 # ---------------------------------------------------------------------- #
 # Argument parsing
 # ---------------------------------------------------------------------- #
@@ -1081,6 +1170,80 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("old")
     cp.add_argument("new")
     cp.set_defaults(handler=_cmd_campaign_diff)
+
+    p = commands.add_parser(
+        "workload",
+        help="year-in-the-life workload observatory: long-horizon replay, "
+        "run catalog, fault campaigns under load",
+    )
+    workload_commands = p.add_subparsers(
+        dest="workload_command", required=True
+    )
+
+    wp = workload_commands.add_parser(
+        "run",
+        help="replay a phased traffic profile against an observable "
+        "service and score it through the four obs channels",
+    )
+    wp.add_argument(
+        "--profile",
+        default="smoke",
+        help="workload profile: smoke (CI) or year (default: smoke)",
+    )
+    wp.add_argument(
+        "--campaign",
+        metavar="MENU",
+        help="also re-prove the fault menu (small/full) injected "
+        "mid-replay under this profile's load",
+    )
+    wp.add_argument(
+        "--out", metavar="FILE", help="write the run-artifact JSON to FILE"
+    )
+    wp.add_argument(
+        "--register",
+        metavar="RUNS_DIR",
+        help="register the run (artifact + INDEX.csv row) in the catalog "
+        "directory",
+    )
+    wp.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run the profile twice and require byte-identical artifacts "
+        "(exit 2 if not)",
+    )
+    wp.set_defaults(handler=_cmd_workload_run)
+
+    wp = workload_commands.add_parser(
+        "report", help="render a recorded workload-run JSON artifact"
+    )
+    wp.add_argument("file")
+    wp.set_defaults(handler=_cmd_workload_report)
+
+    wp = workload_commands.add_parser(
+        "diff",
+        help="compare two workload-run artifacts: non-zero exit on a "
+        "phase-level regression",
+    )
+    wp.add_argument("old")
+    wp.add_argument("new")
+    wp.set_defaults(handler=_cmd_workload_diff)
+
+    wp = workload_commands.add_parser(
+        "index",
+        help="render (and optionally verify) the benchmarks/runs catalog",
+    )
+    wp.add_argument(
+        "runs_dir",
+        nargs="?",
+        default="benchmarks/runs",
+        help="catalog directory (default: benchmarks/runs)",
+    )
+    wp.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-hash every cataloged artifact; exit 2 on a mismatch",
+    )
+    wp.set_defaults(handler=_cmd_workload_index)
 
     return parser
 

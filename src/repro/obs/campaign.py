@@ -20,6 +20,12 @@ contain no randomness of their own (the corruption helpers use fixed
 seeds), so the coverage-matrix artifact is byte-identical across runs, and
 the no-fault control drive is byte-identical — in simulated-time counters
 — to the same workload run without the harness.
+
+The fault *machinery* — staging, the inject hook, the settle/probe steps —
+lives in :mod:`repro.obs.injectors` as one reusable :class:`Injection` per
+fault class; this module is the idle-drive glue around those objects (and
+the long-horizon workload harness of :mod:`repro.obs.workload` schedules
+the same hooks mid-replay, under load).
 """
 
 from __future__ import annotations
@@ -31,6 +37,12 @@ from repro.obs.faultspec import (
     FaultSpec,
     full_menu,
     small_menu,
+)
+from repro.obs.injectors import (
+    CampaignAbort,
+    CampaignError,
+    counters_fingerprint,
+    make_injection,
 )
 
 __all__ = [
@@ -53,21 +65,6 @@ __all__ = [
 #: not throughput).
 CONTROL_LOGIN_RECORDS = 200
 CONTROL_FILETRACE_FILES = 40
-
-#: SLO rules the campaign consults, by fault evidence.
-_CORRUPT_RULES = frozenset({"corrupt_blocks_present", "corrupt_records_present"})
-_MIRROR_RULES = frozenset({"mirror_divergence"})
-
-#: Journal kinds that report damaged media content.
-_CORRUPT_KINDS = frozenset({"block.corrupt", "record.corrupt"})
-
-
-class CampaignError(RuntimeError):
-    """A scenario's premise failed (the fault could not be staged)."""
-
-
-class CampaignAbort(Exception):
-    """Raised by an injection callback to stop the workload drive."""
 
 
 # --------------------------------------------------------------------- #
@@ -181,92 +178,6 @@ def drive_filetrace(
 
 
 # --------------------------------------------------------------------- #
-# Deterministic counters fingerprint
-# --------------------------------------------------------------------- #
-
-
-def counters_fingerprint(service) -> dict:
-    """Every simulated-time counter the harness must not perturb, as a
-    JSON-stable dict: the clock, per-volume device stats, and the space
-    accounting.  Volume ids (uuid4) are deliberately excluded."""
-    store = service.store
-    volumes = []
-    for volume in store.sequence.volumes:
-        stats = volume.device.stats
-        volumes.append(
-            {
-                "blocks_written": volume.device.blocks_written,
-                "busy_ms": stats.busy_ms,
-                "invalidations": stats.invalidations,
-                "reads": stats.reads,
-                "seeks": stats.seeks,
-                "tail_queries": stats.tail_queries,
-                "writes": stats.writes,
-                "written_probes": stats.written_probes,
-            }
-        )
-    space = store.space
-    return {
-        "clock_us": store.clock.now_us,
-        "space": {
-            "blocks_written": space.blocks_written,
-            "catalog": space.catalog,
-            "client_data": space.client_data,
-            "client_entries": space.client_entries,
-            "entry_headers": space.entry_headers,
-            "entrymap": space.entrymap,
-            "forced_padding": space.forced_padding,
-            "size_index": space.size_index,
-        },
-        "volumes": volumes,
-    }
-
-
-# --------------------------------------------------------------------- #
-# Channel probes
-# --------------------------------------------------------------------- #
-
-
-def _event_evidence(events, kinds) -> str | None:
-    for event in events:
-        if event.kind in kinds:
-            return f"{event.kind} seq={event.seq} ts_us={event.ts_us}"
-    return None
-
-
-def _alert_evidence(service, rule_names) -> str | None:
-    from repro.obs.slo import SloEngine, default_ruleset
-
-    rules = [rule for rule in default_ruleset() if rule.name in rule_names]
-    engine = SloEngine(service, rules=rules)
-    for alert in engine.evaluate():
-        if alert.rule in rule_names:
-            return f"{alert.rule} value={alert.value}"
-    return None
-
-
-def _trace_evidence(service, span_names) -> str | None:
-    tracer = service.tracer
-    if tracer is None:
-        return None
-    for root in tracer.recent():
-        for span in root.walk():
-            error = span.attributes.get("error")
-            if error is not None and span.name in span_names:
-                return f"span={span.name} error={error}"
-    return None
-
-
-def _recovery_evidence(report, kinds) -> str | None:
-    if report.corrupted_blocks_known > 0:
-        return f"corrupted_blocks_known={report.corrupted_blocks_known}"
-    for event in report.flight_recorder:
-        if event.kind in kinds:
-            return f"flight:{event.kind} seq={event.seq}"
-    return None
-
-
-# --------------------------------------------------------------------- #
 # Outcomes and reports
 # --------------------------------------------------------------------- #
 
@@ -356,7 +267,7 @@ class CampaignReport:
 
 
 # --------------------------------------------------------------------- #
-# Scenarios — one per fault class
+# Scenarios — thin glue over repro.obs.injectors
 # --------------------------------------------------------------------- #
 
 
@@ -367,299 +278,53 @@ def _make_service(**overrides):
     return LogService.create(**overrides)
 
 
-def _scenario_torn_write(spec: FaultSpec) -> FaultOutcome:
-    """A torn sector write at the tail: the crash block carries a garbage
-    suffix, which recovery's tail scan must flag as corrupt."""
-    from repro.core.service import LogService
-    from repro.worm.corruption import CrashingWormDevice
-    from repro.worm.errors import DeviceCrashed
-
-    # Pure write-once configuration: no firmware tail query (the garbage
-    # block must be *found* by the binary search) and no NVRAM staging.
-    service = _make_service(
-        supports_tail_query=False,
-        nvram_tail=False,
-        volume_capacity_blocks=256,
-    )
-    staged: list = []
-
-    def inject():
-        volume = service.store.sequence.volumes[-1]
-        crasher = CrashingWormDevice(
-            volume.device,
-            crash_after_writes=spec.param("crash_after_writes", 1),
-            torn=True,
-        )
-        volume.device = crasher
-        staged.append((volume, crasher))
-
-    drive_login_log(
-        service,
-        spec.param("records", 300),
-        stop_on=(DeviceCrashed,),
-        inject=inject,
-        at_us=spec.at_us,
-    )
-    if not staged:
-        raise CampaignError(f"{spec.fault_id}: injection never fired")
-    volume, crasher = staged[0]
-    # The crash may not have landed during the drive (e.g. the trigger
-    # fired between burns); force appends until the device dies.
-    root = service.open_log_file("/access")
-    while not crasher.has_crashed:
-        try:
-            root.append(b"torn-write filler entry")
-        except DeviceCrashed:
-            break
-    volume.device = crasher.reincarnate()
-
-    remains = service.crash()
-    mounted, report = LogService.mount(
-        remains.devices, remains.nvram, observability=True
-    )
-    return FaultOutcome(
-        spec,
-        {
-            "events": _event_evidence(mounted.journal.events(), _CORRUPT_KINDS),
-            "alerts": _alert_evidence(mounted, _CORRUPT_RULES),
-            "recovery": _recovery_evidence(report, _CORRUPT_KINDS),
-            "traces": _trace_evidence(service, {"append", "append_many"}),
-        },
-    )
-
-
-def _scenario_bit_rot(spec: FaultSpec) -> FaultOutcome:
-    """Cold bit-rot: a written block rots to garbage while the service is
-    down; the mount-time scan must flag it."""
-    from repro.core.service import LogService
-    from repro.worm.corruption import corrupt_block
-    from repro.workloads.filetrace import FileTrace
-
-    service = _make_service()
-    trace = FileTrace(file_count=spec.param("files", 60))
-
-    def inject():
-        raise CampaignAbort
-
-    drive_filetrace(
-        service, trace, stop_on=(CampaignAbort,), inject=inject, at_us=spec.at_us
-    )
-    device = service.store.sequence.volumes[0].device
-    if device.next_writable < 3:
-        raise CampaignError(
-            f"{spec.fault_id}: too few blocks written before the trigger"
-        )
-    # The newest burned block: always inside recovery's tail re-scan.
-    block = device.next_writable - 1
-    remains = service.crash()
-    corrupt_block(remains.devices[0], block)
-    mounted, report = LogService.mount(
-        remains.devices, remains.nvram, observability=True
-    )
-    return FaultOutcome(
-        spec,
-        {
-            "events": _event_evidence(mounted.journal.events(), _CORRUPT_KINDS),
-            "alerts": _alert_evidence(mounted, _CORRUPT_RULES),
-            "recovery": _recovery_evidence(report, _CORRUPT_KINDS),
-            "traces": _trace_evidence(mounted, {"recovery"}),
-        },
-    )
-
-
-def _scenario_mirror_divergence(spec: FaultSpec) -> FaultOutcome:
-    """One replica of a mirrored volume diverges (a block invalidated on
-    it only); the next read must repair from a survivor and say so."""
-    from repro.worm.device import WormDevice
-    from repro.worm.geometry import NULL_GEOMETRY
-    from repro.worm.mirror import MirroredWormDevice
-
-    replica_sets: list = []
-
-    def factory():
-        pair = [
-            WormDevice(1024, 4096, NULL_GEOMETRY)
-            for _ in range(spec.param("replicas", 2))
-        ]
-        replica_sets.append(pair)
-        return MirroredWormDevice(pair)
-
-    service = _make_service(device_factory=factory)
-
-    def inject():
-        pair = replica_sets[0]
-        mirror = service.store.sequence.volumes[0].device
-        if mirror.next_writable < 3:
-            raise CampaignError(
-                f"{spec.fault_id}: too few blocks written before the trigger"
-            )
-        # Diverge replica 0 only: the mirror believes the block is good.
-        pair[0].invalidate(mirror.next_writable // 2)
-        service.store.cache.clear()
-
-    drive_login_log(
-        service,
-        spec.param("records", 300),
-        inject=inject,
-        at_us=spec.at_us,
-    )
-    # Read everything back: the diverged block forces a read repair.
-    for _entry in service.open_root().entries():
-        pass
-    return FaultOutcome(
-        spec,
-        {
-            "events": _event_evidence(
-                service.journal.events(),
-                {"mirror.read_repair", "mirror.replica_dropped"},
-            ),
-            "alerts": _alert_evidence(service, _MIRROR_RULES),
-            "recovery": None,
-            "traces": None,
-        },
-    )
-
-
-def _scenario_nvram_loss(spec: FaultSpec) -> FaultOutcome:
-    """The NVRAM staging the forced tail does not survive the crash; the
-    remount must record that the staged image is gone."""
-    from repro.core.service import LogService
-    from repro.vsystem.clock import SimClock
-    from repro.worm.nvram import NvramTail
-
-    clock = SimClock()
-    nvram = NvramTail(capacity_bytes=1024, survives_crash=False, clock=clock)
-    service = _make_service(clock=clock, nvram=nvram)
-
-    def inject():
-        service.sync()
-        raise CampaignAbort
-
-    drive_login_log(
-        service,
-        spec.param("records", 240),
-        stop_on=(CampaignAbort,),
-        inject=inject,
-        at_us=spec.at_us,
-    )
-    if nvram.load() is None:
-        raise CampaignError(
-            f"{spec.fault_id}: no tail image staged before the crash"
-        )
-    remains = service.crash()
-    mounted, report = LogService.mount(
-        remains.devices, remains.nvram, observability=True
-    )
-    if report.nvram_tail_recovered:
-        raise CampaignError(
-            f"{spec.fault_id}: the lost image was somehow recovered"
-        )
-    return FaultOutcome(
-        spec,
-        {
-            "events": _event_evidence(
-                mounted.journal.events(), {"recovery.nvram_empty"}
-            ),
-            "alerts": None,
-            "recovery": _recovery_evidence(report, {"recovery.nvram_empty"}),
-            "traces": None,
-        },
-    )
-
-
-def _scenario_crash_mid_batch(spec: FaultSpec) -> FaultOutcome:
-    """The device dies part-way through a server-side group commit; the
-    failed ``append_many`` must leave an error-attributed trace."""
-    from repro.worm.corruption import CrashingWormDevice
-    from repro.worm.errors import DeviceCrashed
-
-    service = _make_service()
-
-    def inject():
-        volume = service.store.sequence.volumes[-1]
-        volume.device = CrashingWormDevice(
-            volume.device,
-            crash_after_writes=spec.param("crash_after_writes", 2),
-        )
-        batch = [f"batch entry {index:04d} ".encode() * 8 for index in range(64)]
-        service.open_log_file("/access").append_many(batch)
-
-    _written, fired, stopped = drive_login_log(
-        service,
-        spec.param("records", 200),
-        stop_on=(DeviceCrashed,),
-        inject=inject,
-        at_us=spec.at_us,
-    )
-    if not (fired and stopped):
-        raise CampaignError(f"{spec.fault_id}: the batch did not crash")
-    return FaultOutcome(
-        spec,
-        {
-            "events": None,
-            "alerts": None,
-            "recovery": None,
-            "traces": _trace_evidence(service, {"append_many"}),
-        },
-    )
-
-
-def _scenario_volume_exhaustion(spec: FaultSpec) -> FaultOutcome:
-    """The media library runs dry: extending the volume sequence fails,
-    which must be journalled and error-attributed before the error
-    reaches the client."""
-    from repro.worm.device import WormDevice
-    from repro.worm.errors import VolumeSequenceError
-    from repro.worm.geometry import NULL_GEOMETRY
-
-    capacity = spec.param("capacity_blocks", 48)
-    made: list = []
-
-    def factory():
-        if made:
-            raise VolumeSequenceError(
-                "media library exhausted: no successor volume"
-            )
-        device = WormDevice(1024, capacity, NULL_GEOMETRY)
-        made.append(device)
-        return device
-
-    service = _make_service(
-        device_factory=factory, volume_capacity_blocks=capacity
-    )
-    _written, _fired, stopped = drive_login_log(
-        service,
-        spec.param("records", 1200),
-        stop_on=(VolumeSequenceError,),
-    )
-    if not stopped:
-        raise CampaignError(f"{spec.fault_id}: the volume never filled")
-    return FaultOutcome(
-        spec,
-        {
-            "events": _event_evidence(
-                service.journal.events(), {"volume.exhausted"}
-            ),
-            "alerts": None,
-            "recovery": None,
-            "traces": _trace_evidence(service, {"append", "append_many"}),
-        },
-    )
-
-
-_SCENARIOS = {
-    "torn_write": _scenario_torn_write,
-    "bit_rot": _scenario_bit_rot,
-    "mirror_divergence": _scenario_mirror_divergence,
-    "nvram_loss": _scenario_nvram_loss,
-    "crash_mid_batch": _scenario_crash_mid_batch,
-    "volume_exhaustion": _scenario_volume_exhaustion,
+#: Idle-drive sizing per fault class (the campaign's short canonical
+#: drives; the under-load harness sizes its own replays).
+_IDLE_SIZES = {
+    "torn_write": 300,
+    "bit_rot": 60,
+    "mirror_divergence": 300,
+    "nvram_loss": 240,
+    "crash_mid_batch": 200,
+    "volume_exhaustion": 1200,
 }
 
 
 def run_spec(spec: FaultSpec) -> FaultOutcome:
-    """Stage and score one fault."""
-    return _SCENARIOS[spec.fault_class](spec)
+    """Stage and score one fault through its reusable injection: build
+    the service with the injection's overrides, run the idle canonical
+    drive with the inject hook scheduled at ``spec.at_us``, then settle
+    and probe the four channels."""
+    injection = make_injection(spec)
+    service = _make_service(**injection.service_overrides())
+    if spec.workload == "filetrace":
+        from repro.workloads.filetrace import FileTrace
+
+        trace = FileTrace(
+            file_count=spec.param("files", _IDLE_SIZES[spec.fault_class])
+        )
+        _steps, fired, stopped = drive_filetrace(
+            service,
+            trace,
+            stop_on=injection.stop_on,
+            inject=lambda: injection.fire(service),
+            at_us=spec.at_us,
+        )
+    else:
+        _steps, fired, stopped = drive_login_log(
+            service,
+            spec.param("records", _IDLE_SIZES[spec.fault_class]),
+            stop_on=injection.stop_on,
+            inject=lambda: injection.fire(service),
+            at_us=spec.at_us,
+        )
+    injection.check_drive(fired, stopped)
+    settled, report = injection.settle(service)
+    return FaultOutcome(
+        spec, injection.outcome_channels(service, settled, report)
+    )
+
+
 
 
 # --------------------------------------------------------------------- #

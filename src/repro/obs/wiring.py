@@ -250,6 +250,32 @@ def wire_service(service: "LogService") -> Instruments:
         labelnames=("volume",),
     )
 
+    # Workload-observatory instruments (repro.obs.workload drives these
+    # directly via registry.get(); no sampler backing).
+    registry.counter(
+        "clio_workload_ops_total",
+        "Operations replayed by the workload observatory, by phase and "
+        "operation kind.",
+        labelnames=("phase", "op"),
+    )
+    registry.counter(
+        "clio_workload_phases_total",
+        "Workload phases completed by the observatory harness.",
+    )
+    registry.counter(
+        "clio_workload_think_us_total",
+        "Simulated think-time microseconds charged between workload "
+        "operations (the workload_think cost component).",
+    )
+    registry.counter(
+        "clio_workload_alerts_total",
+        "SLO alerts fired during workload replays.",
+    )
+    registry.counter(
+        "clio_workload_faults_fired_total",
+        "Fault injections fired mid-replay by the under-load campaign.",
+    )
+
     def sample(_registry: MetricsRegistry) -> None:
         divergence_total = 0
         for index, volume in enumerate(store.sequence.volumes):

@@ -10,8 +10,8 @@ laptop scale.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
+from random import Random
 from typing import Callable, Iterator
 
 __all__ = [
@@ -24,7 +24,7 @@ __all__ = [
 ]
 
 
-SizeDistribution = Callable[[random.Random], int]
+SizeDistribution = Callable[[Random], int]
 
 
 def fixed_size(size: int) -> SizeDistribution:
@@ -66,7 +66,7 @@ class EntryStream:
     seed: int = 0
 
     def generate(self, count: int) -> Iterator[tuple[int, bytes]]:
-        rng = random.Random(self.seed)
+        rng = Random(self.seed)  # private: module-global random is unreachable
         indices = list(range(len(self.logfile_weights)))
         sequence = 0
         for _ in range(count):

@@ -15,8 +15,8 @@ flush-delay policies.
 from __future__ import annotations
 
 import enum
-import random
 from dataclasses import dataclass
+from random import Random
 from typing import Iterator
 
 __all__ = ["FileOp", "TraceEvent", "FileTrace"]
@@ -51,7 +51,7 @@ class FileTrace:
         mean_interarrival_us: int = 2_000_000,
         data_size: int = 256,
         seed: int = 11,
-    ):
+    ) -> None:
         if not 0 <= short_lived_fraction <= 1:
             raise ValueError("short_lived_fraction must be in [0, 1]")
         self.file_count = file_count
@@ -61,7 +61,9 @@ class FileTrace:
         self.seed = seed
 
     def generate(self) -> Iterator[TraceEvent]:
-        rng = random.Random(self.seed)
+        # Private RNG, re-seeded per call: generate() is a pure function of
+        # the trace parameters, immune to module-global random state.
+        rng = Random(self.seed)
         events: list[TraceEvent] = []
         now = 0
         for index in range(self.file_count):

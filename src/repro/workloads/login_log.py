@@ -14,9 +14,13 @@ with 1 KB blocks and N=16 measures c ≈ 1/15 and a ≈ 8.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Iterator
+from random import Random
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.logfile import LogFile
+    from repro.core.service import LogService
 
 __all__ = ["LoginRecord", "LoginLogWorkload"]
 
@@ -53,7 +57,7 @@ class LoginLogWorkload:
         user_count: int = 40,
         active_users: int = 8,
         seed: int = 7,
-    ):
+    ) -> None:
         if active_users > user_count:
             raise ValueError("active_users cannot exceed user_count")
         self.users = [f"user{i:03d}" for i in range(user_count)]
@@ -61,7 +65,10 @@ class LoginLogWorkload:
         self.seed = seed
 
     def generate(self, count: int) -> Iterator[LoginRecord]:
-        rng = random.Random(self.seed)
+        # A private RNG per generate() call: the module-global random state
+        # is never touched, so concurrent generators and global reseeding
+        # cannot perturb the stream.
+        rng = Random(self.seed)
         hosts = [f"sun3-{i:02d}" for i in range(12)]
         # Rotating working set: the same few users stay hot for a stretch,
         # then the window shifts — sessions cluster in time.
@@ -78,13 +85,15 @@ class LoginLogWorkload:
                 sequence=sequence,
             )
 
-    def drive(self, service, count: int, root_path: str = "/access") -> dict[str, int]:
+    def drive(
+        self, service: "LogService", count: int, root_path: str = "/access"
+    ) -> dict[str, int]:
         """Write ``count`` records into ``service``, one sublog per user.
 
         Returns the user -> entry-count map for verification.
         """
         root = service.create_log_file(root_path)
-        sublogs: dict[str, object] = {}
+        sublogs: dict[str, LogFile] = {}
         written: dict[str, int] = {}
         for record in self.generate(count):
             if record.user not in sublogs:

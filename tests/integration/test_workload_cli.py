@@ -1,0 +1,120 @@
+"""Integration tests for ``clio workload run/report/diff/index``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def smoke_artifact(tmp_path_factory):
+    """One registered smoke run: (artifact path, runs dir)."""
+    root = tmp_path_factory.mktemp("workload-cli")
+    out = root / "smoke.json"
+    runs = root / "runs"
+    code = main(
+        [
+            "workload",
+            "run",
+            "--profile",
+            "smoke",
+            "--out",
+            str(out),
+            "--register",
+            str(runs),
+        ]
+    )
+    assert code == 0
+    return out, runs
+
+
+class TestWorkloadRun:
+    def test_run_prints_phases_and_gates(self, capsys):
+        assert main(["workload", "run", "--profile", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "workload run: smoke-s1987" in out
+        assert "login-burst" in out
+        assert "readback_ok=True" in out
+
+    def test_check_determinism_passes(self, capsys):
+        code = main(
+            ["workload", "run", "--profile", "smoke", "--check-determinism"]
+        )
+        assert code == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_unknown_profile_is_a_usage_error(self, capsys):
+        assert main(["workload", "run", "--profile", "decade"]) == 1
+        assert "unknown profile" in capsys.readouterr().err
+
+    def test_under_load_campaign_reports_coverage(self, capsys):
+        code = main(
+            [
+                "workload",
+                "run",
+                "--profile",
+                "smoke",
+                "--campaign",
+                "small",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "under-load campaign: menu=small" in out
+        assert "coverage=100%" in out
+
+
+class TestWorkloadReportAndDiff:
+    def test_report_renders_artifact(self, smoke_artifact, capsys):
+        out_path, _runs = smoke_artifact
+        assert main(["workload", "report", str(out_path)]) == 0
+        assert "login-burst" in capsys.readouterr().out
+
+    def test_diff_identical_artifacts(self, smoke_artifact, capsys):
+        out_path, _runs = smoke_artifact
+        code = main(["workload", "diff", str(out_path), str(out_path)])
+        assert code == 0
+        assert "no phase-level differences" in capsys.readouterr().out
+
+    def test_diff_flags_regression_with_exit_2(
+        self, smoke_artifact, tmp_path, capsys
+    ):
+        out_path, _runs = smoke_artifact
+        record = json.loads(out_path.read_text())
+        record["phases"][0]["attribution"]["coverage"] = 0.5
+        mutated = tmp_path / "mutated.json"
+        mutated.write_text(json.dumps(record))
+        code = main(["workload", "diff", str(out_path), str(mutated)])
+        assert code == 2
+        assert "regression" in capsys.readouterr().err
+
+
+class TestWorkloadIndex:
+    def test_index_lists_registered_runs(self, smoke_artifact, capsys):
+        _out, runs = smoke_artifact
+        assert main(["workload", "index", str(runs)]) == 0
+        assert "smoke-s1987" in capsys.readouterr().out
+
+    def test_index_verify_passes_on_sound_catalog(
+        self, smoke_artifact, capsys
+    ):
+        _out, runs = smoke_artifact
+        assert main(["workload", "index", str(runs), "--verify"]) == 0
+        assert "all digests match" in capsys.readouterr().out
+
+    def test_index_verify_fails_on_tampered_artifact(
+        self, smoke_artifact, capsys
+    ):
+        _out, runs = smoke_artifact
+        artifact = next(runs.glob("smoke-*.json"))
+        artifact.write_text(artifact.read_text() + " ")
+        code = main(["workload", "index", str(runs), "--verify"])
+        assert code == 2
+        assert "sha256 mismatch" in capsys.readouterr().err
+        # Restore for other tests sharing the module-scoped fixture.
+        artifact.write_text(artifact.read_text()[:-1])
+
+    def test_index_on_empty_directory(self, tmp_path, capsys):
+        assert main(["workload", "index", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out

@@ -133,6 +133,17 @@ class TestDeterminism:
     def test_small_artifact_is_byte_identical_across_runs(self):
         assert run_campaign("small").encode() == run_campaign("small").encode()
 
+    def test_full_artifact_matches_pre_refactor_fixture(self, full_report):
+        # Pinned before the scenario stagers were refactored into
+        # repro.obs.injectors: the reusable-injection glue must reproduce
+        # the original campaign artifact byte for byte.
+        import pathlib
+
+        fixture = (
+            pathlib.Path(__file__).parent / "fixtures" / "campaign_full_menu.json"
+        )
+        assert full_report.encode() == fixture.read_text()
+
     def test_full_artifact_is_byte_identical_across_runs(self, full_report):
         assert run_campaign("full").encode() == full_report.encode()
 
